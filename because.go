@@ -1,0 +1,292 @@
+// Package because is the public API of BeCAUSe — BayEsian Computation for
+// AUtonomous SystEms — a network-tomography framework for locating which
+// autonomous systems apply a binary routing property (Route Flap Damping,
+// RPKI Route Origin Validation, community filtering, ...) from end-to-end
+// path observations, reproducing Gray et al., "BGP Beacons, Network
+// Tomography, and Bayesian Computation to Locate Route Flap Damping"
+// (IMC 2020).
+//
+// The input is a set of AS paths, each labeled with whether the property
+// was observed on it. The engine models, for every AS i, the proportion
+// p_i of routes the AS applies the property to, and samples the joint
+// posterior with two MCMC methods (Metropolis–Hastings and Hamiltonian
+// Monte Carlo). The output is not just a yes/no per AS but a diagnostic
+// picture: posterior mean, 95% highest-posterior-density interval, a
+// five-level certainty category, and a second pinpointing pass that
+// identifies ASes applying the property inconsistently (the paper's AS 701
+// case).
+//
+// Minimal usage:
+//
+//	obs := []because.PathObservation{
+//	    {Path: []because.ASN{64500, 64510, 64520}, ShowsProperty: true},
+//	    {Path: []because.ASN{64500, 64530}, ShowsProperty: false},
+//	    // ... one entry per labeled measurement ...
+//	}
+//	res, err := because.Infer(obs, because.Options{Seed: 1})
+//	if err != nil { ... }
+//	for _, r := range res.Flagged() {
+//	    fmt.Printf("%d damps (mean %.2f, category %d)\n", r.AS, r.Mean, r.Category)
+//	}
+//
+// The measurement side of the paper — two-phase BGP Beacons, the simulated
+// AS topology, RFC 2439 damping routers, MRT-archiving route collectors and
+// the RFD-signature labeler — lives in this module's internal packages and
+// is exercised by the cmd/ tools and examples/.
+package because
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"because/internal/bgp"
+	"because/internal/core"
+)
+
+// ASN is an autonomous system number.
+type ASN uint32
+
+// PathObservation is one labeled measurement: an AS path (cleaned of
+// prepending; by convention the vantage point first and the origin already
+// removed, since an origin cannot apply the property to its own prefix) and
+// whether the path exhibited the property.
+type PathObservation struct {
+	Path []ASN
+	// ShowsProperty marks the path as positive (e.g. it showed the RFD
+	// signature).
+	ShowsProperty bool
+	// Weight scales the observation's likelihood contribution (0 = 1).
+	Weight float64
+}
+
+// Prior is the Beta(Alpha, Beta) prior placed on every AS's proportion.
+type Prior struct {
+	Alpha, Beta float64
+}
+
+// Ready-made priors.
+var (
+	// PriorSparse concentrates mass near 0 and 1: most ASes apply a policy
+	// to (nearly) all routes or (nearly) none. The default.
+	PriorSparse = Prior{0.4, 0.4}
+	// PriorUniform is the uninformative choice.
+	PriorUniform = Prior{1, 1}
+	// PriorCentered mildly favors middling proportions; useful in
+	// sensitivity analyses.
+	PriorCentered = Prior{2, 2}
+)
+
+// Options configures an inference run. The zero value is usable: sparse
+// prior, both samplers at the paper's settings, 95% intervals, pinpointing
+// at the 0.8 vote threshold, seed 0.
+type Options struct {
+	// Prior on each p_i (zero value selects PriorSparse).
+	Prior Prior
+	// Seed makes runs reproducible.
+	Seed uint64
+
+	// MHSweeps and MHBurnIn control the Metropolis–Hastings sampler
+	// (defaults 1500 / 375). DisableMH skips it.
+	MHSweeps, MHBurnIn int
+	DisableMH          bool
+	// HMCIterations and HMCBurnIn control Hamiltonian Monte Carlo
+	// (defaults 800 / 200). DisableHMC skips it.
+	HMCIterations, HMCBurnIn int
+	DisableHMC               bool
+	// Chains runs this many independent MH chains (default 1); with two or
+	// more, per-AS Gelman-Rubin R-hat convergence diagnostics are reported.
+	Chains int
+
+	// HDPIMass is the credible-interval mass (default 0.95).
+	HDPIMass float64
+	// PinpointThreshold is the Eq. 8 vote share for flagging inconsistent
+	// ASes (default 0.8; negative disables the pass).
+	PinpointThreshold float64
+	// MissRate, when positive, switches the likelihood to the paper's
+	// § 7.2 measurement-error model: a truly-positive path is recorded
+	// negative with this probability. Use it when the labeling stage is
+	// known to lose signatures.
+	MissRate float64
+}
+
+// Category is the five-level certainty scale of the paper's Table 1.
+type Category int
+
+// Categories: 1–2 likely clean, 3 uncertain, 4–5 likely applying the
+// property.
+const (
+	CategoryHighlyLikelyNot Category = 1
+	CategoryLikelyNot       Category = 2
+	CategoryUncertain       Category = 3
+	CategoryLikely          Category = 4
+	CategoryHighlyLikely    Category = 5
+)
+
+// Positive reports whether the category flags the AS (4 or 5).
+func (c Category) Positive() bool { return c >= CategoryLikely }
+
+// ASReport is the inference outcome for one AS.
+type ASReport struct {
+	AS ASN
+	// Mean is the posterior mean of the AS's proportion p.
+	Mean float64
+	// CredibleLow and CredibleHigh bound the 95% highest-posterior-density
+	// interval; Certainty is 1 minus its width.
+	CredibleLow, CredibleHigh float64
+	Certainty                 float64
+	// Category is the combined flag (highest across samplers, possibly
+	// upgraded by the pinpointing pass).
+	Category Category
+	// Pinpointed marks ASes flagged by the inconsistency pass rather than
+	// the plain thresholds.
+	Pinpointed bool
+	// PositivePaths and NegativePaths count the observations the AS
+	// appeared on.
+	PositivePaths, NegativePaths int
+	// RHat is the Gelman-Rubin convergence diagnostic across MH chains
+	// (NaN unless Options.Chains >= 2; values near 1 mean converged).
+	RHat float64
+}
+
+// MarshalJSON renders the report with the RHat diagnostic omitted when it
+// was not computed (NaN is not representable in JSON).
+func (r ASReport) MarshalJSON() ([]byte, error) {
+	type wire struct {
+		AS            ASN      `json:"as"`
+		Mean          float64  `json:"mean"`
+		CredibleLow   float64  `json:"credible_low"`
+		CredibleHigh  float64  `json:"credible_high"`
+		Certainty     float64  `json:"certainty"`
+		Category      Category `json:"category"`
+		Pinpointed    bool     `json:"pinpointed,omitempty"`
+		PositivePaths int      `json:"positive_paths"`
+		NegativePaths int      `json:"negative_paths"`
+		RHat          *float64 `json:"rhat,omitempty"`
+	}
+	w := wire{
+		AS: r.AS, Mean: r.Mean, CredibleLow: r.CredibleLow, CredibleHigh: r.CredibleHigh,
+		Certainty: r.Certainty, Category: r.Category, Pinpointed: r.Pinpointed,
+		PositivePaths: r.PositivePaths, NegativePaths: r.NegativePaths,
+	}
+	if !math.IsNaN(r.RHat) {
+		w.RHat = &r.RHat
+	}
+	return json.Marshal(w)
+}
+
+// Result is a complete inference outcome.
+type Result struct {
+	// Reports lists every AS in ascending ASN order.
+	Reports []ASReport
+	// MHAcceptance and HMCAcceptance are the samplers' Metropolis
+	// acceptance rates (0 when a sampler was disabled).
+	MHAcceptance, HMCAcceptance float64
+
+	byAS map[ASN]*ASReport
+}
+
+// Flagged returns the reports with a positive category (4 or 5), most
+// certain first.
+func (r *Result) Flagged() []ASReport {
+	var out []ASReport
+	for _, rep := range r.Reports {
+		if rep.Category.Positive() {
+			out = append(out, rep)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Certainty != out[j].Certainty {
+			return out[i].Certainty > out[j].Certainty
+		}
+		return out[i].AS < out[j].AS
+	})
+	return out
+}
+
+// Lookup returns the report for one AS.
+func (r *Result) Lookup(as ASN) (ASReport, bool) {
+	rep, ok := r.byAS[as]
+	if !ok {
+		return ASReport{}, false
+	}
+	return *rep, true
+}
+
+// CategoryCounts returns how many ASes landed in each category (indices
+// 1..5).
+func (r *Result) CategoryCounts() [6]int {
+	var out [6]int
+	for _, rep := range r.Reports {
+		if rep.Category >= 1 && rep.Category <= 5 {
+			out[rep.Category]++
+		}
+	}
+	return out
+}
+
+// Infer runs the BeCAUSe pipeline over the observations.
+func Infer(obs []PathObservation, opts Options) (*Result, error) {
+	if len(obs) == 0 {
+		return nil, fmt.Errorf("because: no observations")
+	}
+	coreObs := make([]core.PathObs, 0, len(obs))
+	for _, o := range obs {
+		asns := make([]bgp.ASN, len(o.Path))
+		for i, a := range o.Path {
+			asns[i] = bgp.ASN(a)
+		}
+		coreObs = append(coreObs, core.PathObs{ASNs: asns, Positive: o.ShowsProperty, Weight: o.Weight})
+	}
+	ds, err := core.NewDataset(coreObs)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{
+		Seed:              opts.Seed,
+		HDPIMass:          opts.HDPIMass,
+		PinpointThreshold: opts.PinpointThreshold,
+		MissRate:          opts.MissRate,
+		Chains:            opts.Chains,
+		DisableMH:         opts.DisableMH,
+		DisableHMC:        opts.DisableHMC,
+		MH:                core.MHConfig{Sweeps: opts.MHSweeps, BurnIn: opts.MHBurnIn},
+		HMC:               core.HMCConfig{Iterations: opts.HMCIterations, BurnIn: opts.HMCBurnIn},
+	}
+	if opts.Prior != (Prior{}) {
+		cfg.Prior = core.Prior{Alpha: opts.Prior.Alpha, Beta: opts.Prior.Beta}
+	}
+	res, err := core.Infer(ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{byAS: make(map[ASN]*ASReport, len(res.Summaries))}
+	for _, s := range res.Summaries {
+		out.Reports = append(out.Reports, ASReport{
+			AS:            ASN(s.ASN),
+			Mean:          s.Mean,
+			CredibleLow:   s.HDPI.Lo,
+			CredibleHigh:  s.HDPI.Hi,
+			Certainty:     s.Certainty,
+			Category:      Category(s.Category),
+			Pinpointed:    s.Pinpointed,
+			PositivePaths: s.PosPaths,
+			NegativePaths: s.NegPaths,
+			RHat:          s.RHat,
+		})
+	}
+	sort.Slice(out.Reports, func(i, j int) bool { return out.Reports[i].AS < out.Reports[j].AS })
+	for i := range out.Reports {
+		out.byAS[out.Reports[i].AS] = &out.Reports[i]
+	}
+	for _, c := range res.Chains {
+		switch c.Method {
+		case "mh":
+			out.MHAcceptance = c.AcceptanceRate()
+		case "hmc":
+			out.HMCAcceptance = c.AcceptanceRate()
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,144 @@
+// Command becausectl runs the BeCAUSe inference over a labeled path
+// dataset and prints the per-AS diagnostic summary.
+//
+// The input is JSON — either an array or newline-delimited objects — of
+// labeled paths:
+//
+//	{"path": [64500, 64510, 64520], "positive": true}
+//	{"path": [64500, 64530], "positive": false}
+//
+// Usage:
+//
+//	becausectl [-in paths.json] [-seed 0] [-prior sparse|uniform|centered]
+//	           [-flagged-only] [-mh-sweeps N] [-hmc-iters N]
+//
+// With no -in, the dataset is read from standard input.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"because"
+)
+
+type record struct {
+	Path     []because.ASN `json:"path"`
+	Positive bool          `json:"positive"`
+	Weight   float64       `json:"weight,omitempty"`
+}
+
+func main() {
+	in := flag.String("in", "", "input JSON file (default: stdin)")
+	seed := flag.Uint64("seed", 0, "inference seed")
+	prior := flag.String("prior", "sparse", "prior: sparse, uniform or centered")
+	flaggedOnly := flag.Bool("flagged-only", false, "print only category 4/5 ASes")
+	jsonOut := flag.Bool("json", false, "emit the reports as JSON instead of a table")
+	mhSweeps := flag.Int("mh-sweeps", 0, "Metropolis-Hastings sweeps (0 = default)")
+	hmcIters := flag.Int("hmc-iters", 0, "HMC iterations (0 = default)")
+	flag.Parse()
+
+	if err := run(*in, *seed, *prior, *flaggedOnly, *jsonOut, *mhSweeps, *hmcIters); err != nil {
+		fmt.Fprintln(os.Stderr, "becausectl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in string, seed uint64, priorName string, flaggedOnly, jsonOut bool, mhSweeps, hmcIters int) error {
+	var r io.Reader = os.Stdin
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	records, err := decode(r)
+	if err != nil {
+		return err
+	}
+	if len(records) == 0 {
+		return fmt.Errorf("no observations in input")
+	}
+
+	opts := because.Options{Seed: seed, MHSweeps: mhSweeps, HMCIterations: hmcIters}
+	switch priorName {
+	case "sparse":
+		opts.Prior = because.PriorSparse
+	case "uniform":
+		opts.Prior = because.PriorUniform
+	case "centered":
+		opts.Prior = because.PriorCentered
+	default:
+		return fmt.Errorf("unknown prior %q", priorName)
+	}
+
+	obs := make([]because.PathObservation, len(records))
+	for i, rec := range records {
+		obs[i] = because.PathObservation{Path: rec.Path, ShowsProperty: rec.Positive, Weight: rec.Weight}
+	}
+	res, err := because.Infer(obs, opts)
+	if err != nil {
+		return err
+	}
+
+	reports := res.Reports
+	if flaggedOnly {
+		reports = res.Flagged()
+	}
+	if jsonOut {
+		if reports == nil {
+			reports = []because.ASReport{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(reports)
+	}
+
+	fmt.Printf("observations: %d paths, %d ASes; MH acceptance %.2f, HMC acceptance %.2f\n",
+		len(obs), len(res.Reports), res.MHAcceptance, res.HMCAcceptance)
+	fmt.Println("AS          mean   95% HDPI        certainty  cat  paths(+/-)")
+	for _, rep := range reports {
+		pin := ""
+		if rep.Pinpointed {
+			pin = "  (pinpointed)"
+		}
+		fmt.Printf("%-10d %5.2f  [%4.2f, %4.2f]    %5.2f     %d    %d/%d%s\n",
+			rep.AS, rep.Mean, rep.CredibleLow, rep.CredibleHigh,
+			rep.Certainty, rep.Category, rep.PositivePaths, rep.NegativePaths, pin)
+	}
+	counts := res.CategoryCounts()
+	fmt.Printf("categories: 1=%d 2=%d 3=%d 4=%d 5=%d; flagged: %d\n",
+		counts[1], counts[2], counts[3], counts[4], counts[5], len(res.Flagged()))
+	return nil
+}
+
+// decode accepts either a JSON array of records or newline-delimited JSON.
+func decode(r io.Reader) ([]record, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var arr []record
+	if err := json.Unmarshal(data, &arr); err == nil {
+		return arr, nil
+	}
+	// Fall back to NDJSON.
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var out []record
+	for {
+		var rec record
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("parsing input: %w", err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDecodeArrayAndNDJSON(t *testing.T) {
+	array := []byte(`[{"path":[1,2],"positive":true},{"path":[3],"positive":false,"weight":2}]`)
+	recs, err := decode(bytes.NewReader(array))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || !recs[0].Positive || recs[1].Weight != 2 {
+		t.Fatalf("array decode = %+v", recs)
+	}
+
+	ndjson := []byte(`{"path":[1,2],"positive":true}
+{"path":[3],"positive":false}
+`)
+	recs, err = decode(bytes.NewReader(ndjson))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].Positive {
+		t.Fatalf("ndjson decode = %+v", recs)
+	}
+
+	if _, err := decode(bytes.NewReader([]byte(`{"path":`))); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "paths.json")
+	data := `[
+	  {"path":[1,7,3],"positive":true},
+	  {"path":[2,7,4],"positive":true},
+	  {"path":[5,7,6],"positive":true},
+	  {"path":[1,9,3],"positive":false},
+	  {"path":[2,9,4],"positive":false},
+	  {"path":[1,2,3],"positive":false}
+	]`
+	if err := os.WriteFile(in, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, jsonOut := range []bool{false, true} {
+		if err := run(in, 1, "sparse", false, jsonOut, 300, 100); err != nil {
+			t.Fatalf("run(json=%v): %v", jsonOut, err)
+		}
+	}
+	if err := run(in, 1, "nonsense", false, false, 100, 50); err == nil {
+		t.Error("unknown prior accepted")
+	}
+	if err := run(filepath.Join(dir, "missing.json"), 1, "sparse", false, false, 0, 0); err == nil {
+		t.Error("missing file accepted")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte("[]"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(empty, 1, "sparse", false, false, 0, 0); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}

@@ -1,0 +1,200 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation over the simulated measurement study. Each experiment prints
+// the same rows/series the paper reports; EXPERIMENTS.md records how the
+// shapes compare.
+//
+// Usage:
+//
+//	experiments [-seed N] [-pairs N] [-scale small|default] [-only fig12,tab4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"because/internal/experiment"
+	"because/internal/rfd"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 2020, "scenario seed")
+	pairs := flag.Int("pairs", 3, "Burst-Break pairs per campaign")
+	scale := flag.String("scale", "default", "scenario scale: small or default")
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	flag.Parse()
+
+	if err := run(*seed, *pairs, *scale, *only); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed uint64, pairs int, scale, only string) error {
+	cfg := experiment.DefaultScenario()
+	cfg.Seed = seed
+	switch scale {
+	case "default":
+	case "small":
+		cfg.Topology.Transit = 40
+		cfg.Topology.Stubs = 90
+		cfg.Sites = 4
+		cfg.VPsPerProject = 4
+		cfg.RFDShare = 0.45
+		cfg.CustomerOnlyDampers = 1
+	default:
+		return fmt.Errorf("unknown scale %q", scale)
+	}
+	suite, err := experiment.NewSuite(cfg, pairs)
+	if err != nil {
+		return err
+	}
+
+	want := map[string]bool{}
+	if only != "" {
+		for _, id := range strings.Split(only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	selected := func(id string) bool { return len(want) == 0 || want[id] }
+
+	type exp struct {
+		id string
+		fn func() (experiment.Report, error)
+	}
+	experiments := []exp{
+		{"fig2", func() (experiment.Report, error) {
+			res, err := experiment.Fig2PenaltyTrace(rfd.Cisco, time.Minute, time.Hour, 3*time.Hour)
+			if err != nil {
+				return experiment.Report{}, err
+			}
+			return res.Report(), nil
+		}},
+		{"fig5", func() (experiment.Report, error) {
+			res, err := experiment.Fig5Signature()
+			if err != nil {
+				return experiment.Report{}, err
+			}
+			return res.Report(), nil
+		}},
+		{"fig6", func() (experiment.Report, error) {
+			run, err := suite.IntervalRun(time.Minute)
+			if err != nil {
+				return experiment.Report{}, err
+			}
+			return experiment.Fig6LinkSimilarity(run).Report(), nil
+		}},
+		{"fig7", func() (experiment.Report, error) {
+			run, err := suite.IntervalRun(time.Minute)
+			if err != nil {
+				return experiment.Report{}, err
+			}
+			return experiment.Fig7ProjectOverlap(run).Report(), nil
+		}},
+		{"fig8", func() (experiment.Report, error) {
+			run, err := suite.IntervalRun(time.Minute)
+			if err != nil {
+				return experiment.Report{}, err
+			}
+			return experiment.Fig8Propagation(run).Report(), nil
+		}},
+		{"fig9", func() (experiment.Report, error) {
+			res, ds, err := suite.Inference(time.Minute)
+			if err != nil {
+				return experiment.Report{}, err
+			}
+			return experiment.Fig9Marginals(res, ds).Report(), nil
+		}},
+		{"fig10", func() (experiment.Report, error) {
+			run, err := suite.IntervalRun(time.Minute)
+			if err != nil {
+				return experiment.Report{}, err
+			}
+			res, err := experiment.Fig10BurstHistogram(run)
+			if err != nil {
+				return experiment.Report{}, err
+			}
+			return res.Report(), nil
+		}},
+		{"fig11", func() (experiment.Report, error) {
+			res, _, err := suite.Inference(time.Minute)
+			if err != nil {
+				return experiment.Report{}, err
+			}
+			return experiment.Fig11Scatter(res).Report(), nil
+		}},
+		{"tab2", func() (experiment.Report, error) {
+			res, _, err := suite.Inference(time.Minute)
+			if err != nil {
+				return experiment.Report{}, err
+			}
+			return experiment.Tab2Categories(res).Report(), nil
+		}},
+		{"fig12", func() (experiment.Report, error) {
+			res, err := experiment.Fig12IntervalSweep(suite, experiment.PaperIntervals)
+			if err != nil {
+				return experiment.Report{}, err
+			}
+			return res.Report(), nil
+		}},
+		{"fig13", func() (experiment.Report, error) {
+			res, err := experiment.Fig13RDeltaCDF(suite, experiment.PaperIntervals)
+			if err != nil {
+				return experiment.Report{}, err
+			}
+			return res.Report(), nil
+		}},
+		{"tab3", func() (experiment.Report, error) {
+			run, err := suite.IntervalRun(time.Minute)
+			if err != nil {
+				return experiment.Report{}, err
+			}
+			res, _, err := suite.Inference(time.Minute)
+			if err != nil {
+				return experiment.Report{}, err
+			}
+			return experiment.Tab3Divergence(run, res).Report(), nil
+		}},
+		{"tab4", func() (experiment.Report, error) {
+			res, err := experiment.Tab4PrecisionRecall(suite)
+			if err != nil {
+				return experiment.Report{}, err
+			}
+			return res.Report(), nil
+		}},
+		{"pilot", func() (experiment.Report, error) {
+			pcfg := cfg
+			pcfg.AggressiveShare = 0.4
+			res, err := experiment.Pilot2019(pcfg, pairs)
+			if err != nil {
+				return experiment.Report{}, err
+			}
+			return res.Report(), nil
+		}},
+		{"appendixA", func() (experiment.Report, error) {
+			ecfg := cfg
+			ecfg.BackgroundPrefixes = 80
+			res, err := experiment.AppendixAEthics(ecfg, pairs)
+			if err != nil {
+				return experiment.Report{}, err
+			}
+			return res.Report(), nil
+		}},
+	}
+
+	start := time.Now()
+	for _, e := range experiments {
+		if !selected(e.id) {
+			continue
+		}
+		rep, err := e.fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		fmt.Println(rep)
+	}
+	fmt.Printf("done in %v (seed=%d scale=%s pairs=%d)\n", time.Since(start).Round(time.Millisecond), seed, scale, pairs)
+	return nil
+}

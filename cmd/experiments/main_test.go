@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+func TestRunSelectedExperiments(t *testing.T) {
+	// fig2 and fig5 are self-contained (no suite campaigns), so this stays
+	// fast while exercising the selection and rendering plumbing.
+	if err := run(2020, 1, "small", "fig2,fig5"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsUnknownScale(t *testing.T) {
+	if err := run(1, 1, "galactic", "fig2"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}

@@ -1,0 +1,141 @@
+// Command rfdbeacon runs a complete beacon measurement campaign over the
+// simulated Internet and archives the vantage-point feeds as MRT files —
+// one per collector project, the same format the real RIS/RouteViews/
+// Isolario archives use. The dumps can be inspected with examples/mrtinspect
+// or fed back through the labeling pipeline.
+//
+// Usage:
+//
+//	rfdbeacon [-out DIR] [-interval 1m] [-pairs 3] [-seed 2020]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"because/internal/collector"
+	"because/internal/experiment"
+	"because/internal/label"
+	"because/internal/mrt"
+	"because/internal/topology"
+)
+
+func main() {
+	out := flag.String("out", ".", "output directory for MRT dumps")
+	interval := flag.Duration("interval", time.Minute, "beacon update interval during Bursts")
+	pairs := flag.Int("pairs", 3, "number of Burst-Break pairs")
+	seed := flag.Uint64("seed", 2020, "scenario seed")
+	topo := flag.String("topology", "", "CAIDA as-rel file to run over (default: generate synthetically)")
+	flag.Parse()
+
+	if err := run(*out, *interval, *pairs, *seed, *topo); err != nil {
+		fmt.Fprintln(os.Stderr, "rfdbeacon:", err)
+		os.Exit(1)
+	}
+}
+
+func run(outDir string, interval time.Duration, pairs int, seed uint64, topoFile string) error {
+	cfg := experiment.DefaultScenario()
+	cfg.Seed = seed
+	var scenario *experiment.Scenario
+	var err error
+	if topoFile != "" {
+		f, ferr := os.Open(topoFile)
+		if ferr != nil {
+			return ferr
+		}
+		g, gerr := topology.ReadCAIDA(f)
+		f.Close()
+		if gerr != nil {
+			return gerr
+		}
+		scenario, err = experiment.NewScenarioFromGraph(cfg, g)
+	} else {
+		scenario, err = experiment.NewScenario(cfg)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("topology: %d ASes, %d links; %d beacon sites, %d vantage points, %d RFD deployments\n",
+		scenario.Graph.Len(), scenario.Graph.Links(), len(scenario.Sites), len(scenario.VPs),
+		len(scenario.Deployments))
+
+	run, err := scenario.RunCampaign(experiment.IntervalCampaign(interval, pairs))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("campaign %s: %d BGP updates sent, %d entries archived, %d labeled paths\n",
+		run.Campaign.Name, run.UpdatesSent, len(run.Entries), len(run.Measurements))
+
+	// One MRT dump per project, like the real archives.
+	byProject := make(map[collector.Project][]collector.Entry)
+	for _, e := range run.Entries {
+		byProject[e.VP.Project] = append(byProject[e.VP.Project], e)
+	}
+	for _, project := range collector.Projects {
+		entries := byProject[project]
+		name := filepath.Join(outDir, fmt.Sprintf("updates.%s.%s.mrt", project, run.Campaign.Name))
+		f, err := os.Create(name)
+		if err != nil {
+			return err
+		}
+		w := mrt.NewWriter(f)
+		wrote := 0
+		for _, e := range entries {
+			if err := w.WriteUpdate(e.Exported, e.VP.AS, 64999, e.VP.Addr(),
+				e.VP.Addr(), e.Update); err != nil {
+				f.Close()
+				return fmt.Errorf("writing %s: %w", name, err)
+			}
+			wrote++
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d records\n", name, wrote)
+	}
+
+	// A final RIB snapshot, reconstructed from the updates like real
+	// archive tooling does.
+	ribName := filepath.Join(outDir, fmt.Sprintf("rib.%s.mrt", run.Campaign.Name))
+	f, err := os.Create(ribName)
+	if err != nil {
+		return err
+	}
+	snapAt := run.Entries[len(run.Entries)-1].Exported.Add(time.Minute)
+	if err := collector.WriteRIB(f, run.Entries, snapAt); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", ribName, err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (snapshot at %s)\n", ribName, snapAt.Format(time.RFC3339))
+
+	// The labeled path dataset, ready for cmd/becausectl.
+	pathsName := filepath.Join(outDir, fmt.Sprintf("paths.%s.json", run.Campaign.Name))
+	pf, err := os.Create(pathsName)
+	if err != nil {
+		return err
+	}
+	if err := label.WriteJSON(pf, run.Measurements); err != nil {
+		pf.Close()
+		return fmt.Errorf("writing %s: %w", pathsName, err)
+	}
+	if err := pf.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (feed it to: go run ./cmd/becausectl -in %s)\n", pathsName, pathsName)
+
+	rfdPaths := 0
+	for _, m := range run.Measurements {
+		if m.RFD {
+			rfdPaths++
+		}
+	}
+	fmt.Printf("labeling: %d/%d paths show the RFD signature\n", rfdPaths, len(run.Measurements))
+	return nil
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"because/internal/collector"
+	"because/internal/label"
+	"because/internal/mrt"
+)
+
+func TestRunWritesAllArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign in -short mode")
+	}
+	dir := t.TempDir()
+	if err := run(dir, 5*time.Minute, 1, 2020, ""); err != nil {
+		t.Fatal(err)
+	}
+	// One update dump per project, a RIB snapshot and the labeled paths.
+	for _, p := range collector.Projects {
+		name := filepath.Join(dir, "updates."+p.String()+".interval-5m0s.mrt")
+		f, err := os.Open(name)
+		if err != nil {
+			t.Fatalf("missing dump: %v", err)
+		}
+		recs, err := mrt.ReadAll(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(recs) == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+	rib, err := os.Open(filepath.Join(dir, "rib.interval-5m0s.mrt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := mrt.NewRIBReader(rib)
+	rec, err := rr.Next()
+	rib.Close()
+	if err != nil {
+		t.Fatalf("RIB snapshot unreadable: %v", err)
+	}
+	if len(rec.Entries) == 0 {
+		t.Error("RIB record without entries")
+	}
+	pf, err := os.Open(filepath.Join(dir, "paths.interval-5m0s.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := label.ReadJSON(pf)
+	pf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) == 0 {
+		t.Error("no labeled paths in JSON")
+	}
+}

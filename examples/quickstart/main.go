@@ -1,0 +1,60 @@
+// Quickstart: infer which AS applies a routing property from labeled path
+// observations, using only the public because API.
+//
+// We hand-craft a 12-AS world where AS 7 damps every route and AS 9 is
+// clean, label the paths accordingly, and let BeCAUSe recover the
+// deployment with calibrated uncertainty.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"because"
+)
+
+func main() {
+	// Paths as a measurement study would produce them: vantage point
+	// first, already cleaned of prepending, origin removed. A path is
+	// positive when it showed the property (here: the RFD signature).
+	paths := [][]because.ASN{
+		{1, 7, 3}, {2, 7, 4}, {5, 7, 6}, {1, 7, 6}, {8, 7, 3}, // through the damper
+		{1, 9, 3}, {2, 9, 4}, {5, 9, 6}, {8, 9, 10}, // through the clean transit
+		{1, 2, 3}, {4, 5, 6}, {8, 10, 11}, {11, 12, 1}, {2, 4, 6},
+	}
+	var obs []because.PathObservation
+	for _, p := range paths {
+		positive := false
+		for _, a := range p {
+			if a == 7 { // ground truth known only to this example
+				positive = true
+			}
+		}
+		obs = append(obs, because.PathObservation{Path: p, ShowsProperty: positive})
+	}
+
+	res, err := because.Infer(obs, because.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("inferred over %d ASes (MH acceptance %.2f, HMC acceptance %.2f)\n\n",
+		len(res.Reports), res.MHAcceptance, res.HMCAcceptance)
+	fmt.Println("AS    mean   95% interval    certainty  category")
+	for _, rep := range res.Reports {
+		flag := ""
+		if rep.Category.Positive() {
+			flag = "  <-- applies the property"
+		}
+		fmt.Printf("%-4d  %.2f   [%.2f, %.2f]    %.2f       %d%s\n",
+			rep.AS, rep.Mean, rep.CredibleLow, rep.CredibleHigh, rep.Certainty, rep.Category, flag)
+	}
+
+	fmt.Println("\nflagged ASes (category 4-5), most certain first:")
+	for _, rep := range res.Flagged() {
+		fmt.Printf("  AS%d: damping proportion %.2f +- [%.2f, %.2f]\n",
+			rep.AS, rep.Mean, rep.CredibleLow, rep.CredibleHigh)
+	}
+}

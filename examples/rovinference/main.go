@@ -1,0 +1,140 @@
+// rovinference reproduces the paper's § 7 generalisation: the identical
+// BeCAUSe machinery, pointed at RPKI Route Origin Validation instead of
+// RFD. An RPKI-invalid beacon is announced over a simulated topology where
+// a known set of ASes drops invalid routes; paths are labeled ROV when a
+// filtering AS sits on them, and the inference recovers the adopters.
+//
+//	go run ./examples/rovinference
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"because"
+	"because/internal/bgp"
+	"because/internal/netsim"
+	"because/internal/router"
+	"because/internal/rov"
+	"because/internal/stats"
+	"because/internal/topology"
+)
+
+func main() {
+	rng := stats.NewRNG(77)
+	cfg := topology.DefaultGen()
+	cfg.Transit, cfg.Stubs = 60, 140
+	graph, err := topology.Generate(cfg, rng.Split())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The ROV deployment (hidden ground truth): six mid-size transit
+	// cones validate origins. (Adopters too close to the top would cover
+	// every path, leaving nothing to exonerate the non-adopters with.)
+	var transits []bgp.ASN
+	for _, asn := range graph.ASNs() {
+		if graph.AS(asn).Tier == topology.TierTransit {
+			transits = append(transits, asn)
+		}
+	}
+	sort.Slice(transits, func(i, j int) bool {
+		return len(graph.CustomerCone(transits[i])) > len(graph.CustomerCone(transits[j]))
+	})
+	rovSet := map[bgp.ASN]bool{}
+	for _, asn := range transits[3:9] {
+		rovSet[asn] = true
+	}
+
+	// An RPKI table where the beacon prefix is authorised for a different
+	// origin: every announcement of it is Invalid.
+	beaconPrefix := bgp.MustPrefix("203.0.113.0/24")
+	var table rov.Table
+	if err := table.Add(rov.ROA{Prefix: beaconPrefix, Origin: 64999}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Pick a stub origin and announce the invalid beacon; ROV ASes drop it
+	// at import, everyone else propagates it.
+	var origin bgp.ASN
+	for _, asn := range graph.ASNs() {
+		if graph.AS(asn).Tier == topology.TierStub {
+			origin = asn
+			break
+		}
+	}
+	eng := netsim.NewEngine(time.Date(2020, 4, 1, 0, 0, 0, 0, time.UTC))
+	net := router.New(eng, graph, router.Options{
+		ImportFilter: rov.ImportFilter(&table, rovSet),
+	}, rng.Split())
+	if err := net.Originate(origin, beaconPrefix, 1); err != nil {
+		log.Fatal(err)
+	}
+	eng.Run()
+
+	// Build the § 7 dataset: for every AS, its best path toward the beacon
+	// origin (computed from a control prefix that nobody filters) is
+	// labeled ROV when a filtering AS is on it — equivalently, when the AS
+	// did NOT receive the invalid beacon.
+	control := bgp.MustPrefix("198.51.100.0/24")
+	if err := net.Originate(origin, control, 2); err != nil {
+		log.Fatal(err)
+	}
+	eng.Run()
+
+	var obs []because.PathObservation
+	labeledROV := 0
+	for _, asn := range graph.ASNs() {
+		if asn == origin {
+			continue
+		}
+		path, ok := net.Router(asn).Best(control)
+		if !ok {
+			continue
+		}
+		clean := path.Clean()
+		if len(clean) < 2 {
+			continue
+		}
+		_, gotInvalid := net.Router(asn).Best(beaconPrefix)
+		tomo := make([]because.ASN, 0, len(clean)-1)
+		for _, a := range clean[:len(clean)-1] {
+			tomo = append(tomo, because.ASN(a))
+		}
+		if !gotInvalid {
+			labeledROV++
+		}
+		obs = append(obs, because.PathObservation{Path: tomo, ShowsProperty: !gotInvalid})
+	}
+	fmt.Printf("dataset: %d paths, %d labeled ROV (%.0f%%)\n\n",
+		len(obs), labeledROV, 100*float64(labeledROV)/float64(len(obs)))
+
+	res, err := because.Infer(obs, because.Options{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("flagged ASes vs planted ROV deployment:")
+	tp, fp := 0, 0
+	for _, rep := range res.Flagged() {
+		verdict := "FALSE POSITIVE"
+		if rovSet[bgp.ASN(rep.AS)] {
+			verdict = "correct"
+			tp++
+		} else {
+			fp++
+		}
+		fmt.Printf("  AS%d mean=%.2f certainty=%.2f -> %s\n", rep.AS, rep.Mean, rep.Certainty, verdict)
+	}
+	missed := 0
+	for asn := range rovSet {
+		if rep, ok := res.Lookup(because.ASN(asn)); !ok || !rep.Category.Positive() {
+			missed++
+			fmt.Printf("  missed adopter %v (hiding behind another ROV AS?)\n", asn)
+		}
+	}
+	fmt.Printf("\nprecision %d/%d, recall %d/%d — the misses sit behind other "+
+		"filtering ASes, the identifiability limit the paper describes\n",
+		tp, tp+fp, tp, tp+missed)
+}

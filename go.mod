@@ -1,0 +1,3 @@
+module because
+
+go 1.22

@@ -1,0 +1,418 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// Codec encodes and decodes BGP UPDATE messages to and from the RFC 4271
+// wire format. The zero value encodes 2-octet AS numbers; set AS4 for the
+// RFC 6793 4-octet encoding (what modern sessions negotiate and what the
+// simulator's collectors archive).
+type Codec struct {
+	// AS4 selects 4-octet AS number encoding in AS_PATH and AGGREGATOR.
+	AS4 bool
+}
+
+// Wire format constants (RFC 4271 § 4.1).
+const (
+	// HeaderLen is the fixed BGP message header size.
+	HeaderLen = 19
+	// MaxMessageLen is the largest legal BGP message.
+	MaxMessageLen = 4096
+)
+
+// Codec and message errors.
+var (
+	ErrShortMessage   = errors.New("bgp: message truncated")
+	ErrBadMarker      = errors.New("bgp: header marker is not all-ones")
+	ErrBadLength      = errors.New("bgp: header length field invalid")
+	ErrNotUpdate      = errors.New("bgp: message is not an UPDATE")
+	ErrAttrMalformed  = errors.New("bgp: malformed path attribute")
+	ErrBadPrefix      = errors.New("bgp: malformed NLRI prefix")
+	ErrMessageTooLong = errors.New("bgp: message exceeds 4096 bytes")
+)
+
+// EncodeMessage serialises u as a complete BGP message (header + UPDATE
+// body).
+func (c Codec) EncodeMessage(u *Update) ([]byte, error) {
+	body, err := c.encodeBody(u)
+	if err != nil {
+		return nil, err
+	}
+	total := HeaderLen + len(body)
+	if total > MaxMessageLen {
+		return nil, ErrMessageTooLong
+	}
+	msg := make([]byte, total)
+	for i := 0; i < 16; i++ {
+		msg[i] = 0xff
+	}
+	binary.BigEndian.PutUint16(msg[16:18], uint16(total))
+	msg[18] = byte(MsgUpdate)
+	copy(msg[HeaderLen:], body)
+	return msg, nil
+}
+
+func (c Codec) encodeBody(u *Update) ([]byte, error) {
+	withdrawn, err := encodePrefixes(u.Withdrawn)
+	if err != nil {
+		return nil, err
+	}
+	var attrs []byte
+	if len(u.NLRI) > 0 {
+		attrs, err = c.encodeAttrs(u)
+		if err != nil {
+			return nil, err
+		}
+	}
+	nlri, err := encodePrefixes(u.NLRI)
+	if err != nil {
+		return nil, err
+	}
+	body := make([]byte, 0, 4+len(withdrawn)+len(attrs)+len(nlri))
+	body = binary.BigEndian.AppendUint16(body, uint16(len(withdrawn)))
+	body = append(body, withdrawn...)
+	body = binary.BigEndian.AppendUint16(body, uint16(len(attrs)))
+	body = append(body, attrs...)
+	body = append(body, nlri...)
+	return body, nil
+}
+
+func (c Codec) encodeAttrs(u *Update) ([]byte, error) {
+	var out []byte
+
+	appendAttr := func(flags byte, typ AttrType, val []byte) {
+		if len(val) > 255 {
+			flags |= flagExtLen
+		}
+		out = append(out, flags, byte(typ))
+		if flags&flagExtLen != 0 {
+			out = binary.BigEndian.AppendUint16(out, uint16(len(val)))
+		} else {
+			out = append(out, byte(len(val)))
+		}
+		out = append(out, val...)
+	}
+
+	// ORIGIN (well-known mandatory).
+	appendAttr(flagTransitive, AttrOrigin, []byte{byte(u.Origin)})
+
+	// AS_PATH (well-known mandatory).
+	pathVal, err := c.encodePath(u.ASPath)
+	if err != nil {
+		return nil, err
+	}
+	appendAttr(flagTransitive, AttrASPath, pathVal)
+
+	// NEXT_HOP (well-known mandatory for IPv4 unicast).
+	nh := u.NextHop
+	if !nh.IsValid() {
+		nh = netip.AddrFrom4([4]byte{0, 0, 0, 0})
+	}
+	if !nh.Is4() {
+		return nil, fmt.Errorf("bgp: NEXT_HOP %v is not IPv4", nh)
+	}
+	b4 := nh.As4()
+	appendAttr(flagTransitive, AttrNextHop, b4[:])
+
+	if u.HasMED {
+		appendAttr(flagOptional, AttrMED, binary.BigEndian.AppendUint32(nil, u.MED))
+	}
+	if u.HasLocal {
+		appendAttr(flagTransitive, AttrLocalPref, binary.BigEndian.AppendUint32(nil, u.LocalPref))
+	}
+	if u.AtomicAgg {
+		appendAttr(flagTransitive, AttrAtomicAggregate, nil)
+	}
+	if u.Aggregator != nil {
+		var val []byte
+		if c.AS4 {
+			val = binary.BigEndian.AppendUint32(nil, uint32(u.Aggregator.AS))
+		} else {
+			as := u.Aggregator.AS
+			if as > 0xffff {
+				as = ASTrans
+			}
+			val = binary.BigEndian.AppendUint16(nil, uint16(as))
+		}
+		val = binary.BigEndian.AppendUint32(val, u.Aggregator.ID)
+		appendAttr(flagOptional|flagTransitive, AttrAggregator, val)
+	}
+	if len(u.Communities) > 0 {
+		val := make([]byte, 0, 4*len(u.Communities))
+		for _, cm := range u.Communities {
+			val = binary.BigEndian.AppendUint32(val, uint32(cm))
+		}
+		appendAttr(flagOptional|flagTransitive, AttrCommunities, val)
+	}
+	return out, nil
+}
+
+func (c Codec) encodePath(p Path) ([]byte, error) {
+	var out []byte
+	for _, s := range p.Segments {
+		if len(s.ASNs) == 0 {
+			continue
+		}
+		if len(s.ASNs) > 255 {
+			return nil, fmt.Errorf("bgp: AS_PATH segment with %d ASNs exceeds 255", len(s.ASNs))
+		}
+		out = append(out, byte(s.Type), byte(len(s.ASNs)))
+		for _, a := range s.ASNs {
+			if c.AS4 {
+				out = binary.BigEndian.AppendUint32(out, uint32(a))
+			} else {
+				v := a
+				if v > 0xffff {
+					v = ASTrans
+				}
+				out = binary.BigEndian.AppendUint16(out, uint16(v))
+			}
+		}
+	}
+	return out, nil
+}
+
+func encodePrefixes(ps []Prefix) ([]byte, error) {
+	var out []byte
+	for _, p := range ps {
+		if !p.Addr().Is4() {
+			return nil, fmt.Errorf("bgp: prefix %v is not IPv4", p)
+		}
+		bits := p.Bits()
+		if bits < 0 || bits > 32 {
+			return nil, fmt.Errorf("%w: %v", ErrBadPrefix, p)
+		}
+		out = append(out, byte(bits))
+		a4 := p.Masked().Addr().As4()
+		out = append(out, a4[:(bits+7)/8]...)
+	}
+	return out, nil
+}
+
+// DecodeMessage parses one complete BGP message from data and returns the
+// decoded UPDATE together with the number of bytes consumed. Non-UPDATE
+// messages yield ErrNotUpdate (with the consumed length still reported so a
+// stream reader can skip them).
+func (c Codec) DecodeMessage(data []byte) (*Update, int, error) {
+	if len(data) < HeaderLen {
+		return nil, 0, ErrShortMessage
+	}
+	for i := 0; i < 16; i++ {
+		if data[i] != 0xff {
+			return nil, 0, ErrBadMarker
+		}
+	}
+	total := int(binary.BigEndian.Uint16(data[16:18]))
+	if total < HeaderLen || total > MaxMessageLen {
+		return nil, 0, ErrBadLength
+	}
+	if len(data) < total {
+		return nil, 0, ErrShortMessage
+	}
+	if MessageType(data[18]) != MsgUpdate {
+		return nil, total, ErrNotUpdate
+	}
+	u, err := c.decodeBody(data[HeaderLen:total])
+	if err != nil {
+		return nil, total, err
+	}
+	return u, total, nil
+}
+
+func (c Codec) decodeBody(body []byte) (*Update, error) {
+	if len(body) < 2 {
+		return nil, ErrShortMessage
+	}
+	wlen := int(binary.BigEndian.Uint16(body[:2]))
+	rest := body[2:]
+	if len(rest) < wlen {
+		return nil, ErrShortMessage
+	}
+	withdrawn, err := decodePrefixes(rest[:wlen])
+	if err != nil {
+		return nil, err
+	}
+	rest = rest[wlen:]
+	if len(rest) < 2 {
+		return nil, ErrShortMessage
+	}
+	alen := int(binary.BigEndian.Uint16(rest[:2]))
+	rest = rest[2:]
+	if len(rest) < alen {
+		return nil, ErrShortMessage
+	}
+	u := &Update{Withdrawn: withdrawn}
+	if err := c.decodeAttrs(rest[:alen], u); err != nil {
+		return nil, err
+	}
+	nlri, err := decodePrefixes(rest[alen:])
+	if err != nil {
+		return nil, err
+	}
+	u.NLRI = nlri
+	return u, nil
+}
+
+// EncodeAttributes serialises u's path attribute block alone (no header,
+// no NLRI) — the payload format of TABLE_DUMP_V2 RIB entries.
+func (c Codec) EncodeAttributes(u *Update) ([]byte, error) { return c.encodeAttrs(u) }
+
+// DecodeAttributes parses a bare path attribute block into u.
+func (c Codec) DecodeAttributes(data []byte, u *Update) error { return c.decodeAttrs(data, u) }
+
+func (c Codec) decodeAttrs(data []byte, u *Update) error {
+	for len(data) > 0 {
+		if len(data) < 3 {
+			return ErrAttrMalformed
+		}
+		flags := data[0]
+		typ := AttrType(data[1])
+		var alen, hdr int
+		if flags&flagExtLen != 0 {
+			if len(data) < 4 {
+				return ErrAttrMalformed
+			}
+			alen = int(binary.BigEndian.Uint16(data[2:4]))
+			hdr = 4
+		} else {
+			alen = int(data[2])
+			hdr = 3
+		}
+		if len(data) < hdr+alen {
+			return ErrAttrMalformed
+		}
+		val := data[hdr : hdr+alen]
+		if err := c.decodeAttr(typ, val, u); err != nil {
+			return err
+		}
+		data = data[hdr+alen:]
+	}
+	return nil
+}
+
+func (c Codec) decodeAttr(typ AttrType, val []byte, u *Update) error {
+	switch typ {
+	case AttrOrigin:
+		if len(val) != 1 {
+			return fmt.Errorf("%w: ORIGIN length %d", ErrAttrMalformed, len(val))
+		}
+		u.Origin = Origin(val[0])
+	case AttrASPath:
+		p, err := c.decodePath(val)
+		if err != nil {
+			return err
+		}
+		u.ASPath = p
+	case AttrNextHop:
+		if len(val) != 4 {
+			return fmt.Errorf("%w: NEXT_HOP length %d", ErrAttrMalformed, len(val))
+		}
+		u.NextHop = netip.AddrFrom4([4]byte(val))
+	case AttrMED:
+		if len(val) != 4 {
+			return fmt.Errorf("%w: MED length %d", ErrAttrMalformed, len(val))
+		}
+		u.MED = binary.BigEndian.Uint32(val)
+		u.HasMED = true
+	case AttrLocalPref:
+		if len(val) != 4 {
+			return fmt.Errorf("%w: LOCAL_PREF length %d", ErrAttrMalformed, len(val))
+		}
+		u.LocalPref = binary.BigEndian.Uint32(val)
+		u.HasLocal = true
+	case AttrAtomicAggregate:
+		if len(val) != 0 {
+			return fmt.Errorf("%w: ATOMIC_AGGREGATE length %d", ErrAttrMalformed, len(val))
+		}
+		u.AtomicAgg = true
+	case AttrAggregator:
+		want := 6
+		if c.AS4 {
+			want = 8
+		}
+		if len(val) != want {
+			return fmt.Errorf("%w: AGGREGATOR length %d (AS4=%v)", ErrAttrMalformed, len(val), c.AS4)
+		}
+		agg := &Aggregator{}
+		if c.AS4 {
+			agg.AS = ASN(binary.BigEndian.Uint32(val[:4]))
+			agg.ID = binary.BigEndian.Uint32(val[4:8])
+		} else {
+			agg.AS = ASN(binary.BigEndian.Uint16(val[:2]))
+			agg.ID = binary.BigEndian.Uint32(val[2:6])
+		}
+		u.Aggregator = agg
+	case AttrCommunities:
+		if len(val)%4 != 0 {
+			return fmt.Errorf("%w: COMMUNITIES length %d", ErrAttrMalformed, len(val))
+		}
+		for i := 0; i < len(val); i += 4 {
+			u.Communities = append(u.Communities, Community(binary.BigEndian.Uint32(val[i:i+4])))
+		}
+	default:
+		// Unknown optional attributes are ignored; the pipeline only needs
+		// the ones above.
+	}
+	return nil
+}
+
+func (c Codec) decodePath(val []byte) (Path, error) {
+	var p Path
+	asnSize := 2
+	if c.AS4 {
+		asnSize = 4
+	}
+	for len(val) > 0 {
+		if len(val) < 2 {
+			return Path{}, fmt.Errorf("%w: AS_PATH segment header", ErrAttrMalformed)
+		}
+		st := SegmentType(val[0])
+		if st != SegSet && st != SegSequence {
+			return Path{}, fmt.Errorf("%w: AS_PATH segment type %d", ErrAttrMalformed, st)
+		}
+		n := int(val[1])
+		need := 2 + n*asnSize
+		if len(val) < need {
+			return Path{}, fmt.Errorf("%w: AS_PATH segment truncated", ErrAttrMalformed)
+		}
+		seg := Segment{Type: st, ASNs: make([]ASN, n)}
+		for i := 0; i < n; i++ {
+			off := 2 + i*asnSize
+			if c.AS4 {
+				seg.ASNs[i] = ASN(binary.BigEndian.Uint32(val[off : off+4]))
+			} else {
+				seg.ASNs[i] = ASN(binary.BigEndian.Uint16(val[off : off+2]))
+			}
+		}
+		p.Segments = append(p.Segments, seg)
+		val = val[need:]
+	}
+	return p, nil
+}
+
+func decodePrefixes(data []byte) ([]Prefix, error) {
+	var out []Prefix
+	for len(data) > 0 {
+		bits := int(data[0])
+		if bits > 32 {
+			return nil, fmt.Errorf("%w: length %d", ErrBadPrefix, bits)
+		}
+		nb := (bits + 7) / 8
+		if len(data) < 1+nb {
+			return nil, fmt.Errorf("%w: truncated", ErrBadPrefix)
+		}
+		var a4 [4]byte
+		copy(a4[:], data[1:1+nb])
+		p, err := netip.AddrFrom4(a4).Prefix(bits)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadPrefix, err)
+		}
+		out = append(out, p)
+		data = data[1+nb:]
+	}
+	return out, nil
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+
+	"because/internal/bgp"
+)
+
+// Chain holds the posterior samples produced by one sampler run.
+type Chain struct {
+	// Method names the sampler ("mh" or "hmc").
+	Method string
+	// Nodes maps sample columns to ASes (dataset index order).
+	Nodes []bgp.ASN
+	// Samples[t][i] is node i's value in the t-th retained sample.
+	Samples [][]float64
+	// Accepted and Proposed count Metropolis decisions (for MH these are
+	// per-coordinate proposals; for HMC per trajectory).
+	Accepted, Proposed int
+}
+
+// AcceptanceRate returns Accepted/Proposed (0 when nothing was proposed).
+func (c *Chain) AcceptanceRate() float64 {
+	if c.Proposed == 0 {
+		return 0
+	}
+	return float64(c.Accepted) / float64(c.Proposed)
+}
+
+// Len returns the number of retained samples.
+func (c *Chain) Len() int { return len(c.Samples) }
+
+// Marginal returns the sample column of node index i — the marginal
+// posterior P(p_i | D) as samples.
+func (c *Chain) Marginal(i int) []float64 {
+	out := make([]float64, len(c.Samples))
+	for t, s := range c.Samples {
+		out[t] = s[i]
+	}
+	return out
+}
+
+// MarginalOf returns the marginal for a specific AS.
+func (c *Chain) MarginalOf(asn bgp.ASN) ([]float64, error) {
+	for i, a := range c.Nodes {
+		if a == asn {
+			return c.Marginal(i), nil
+		}
+	}
+	return nil, fmt.Errorf("core: %v not in chain", asn)
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"because/internal/stats"
+)
+
+// HMCConfig configures the Hamiltonian Monte Carlo sampler. HMC runs in
+// logit space (θ_i = logit p_i), where the posterior is unconstrained and
+// smooth; trajectories follow the gradient of the log posterior, making
+// multi-dimensional moves that escape the local modes a random walk gets
+// stuck in.
+type HMCConfig struct {
+	// Iterations is the number of retained trajectories. Default 800.
+	Iterations int
+	// BurnIn trajectories are discarded. Default Iterations/4.
+	BurnIn int
+	// Leapfrog is the number of integration steps per trajectory.
+	// Default 12.
+	Leapfrog int
+	// StepSize is the leapfrog step. Default 0.08.
+	StepSize float64
+	// Jitter randomises the per-trajectory step size by ±Jitter·StepSize
+	// to avoid resonance. Default 0.2.
+	Jitter float64
+	// MissRate, when positive, enables the § 7.2 measurement-error
+	// likelihood (see MHConfig.MissRate).
+	MissRate float64
+}
+
+func (c HMCConfig) withDefaults() HMCConfig {
+	if c.Iterations == 0 {
+		c.Iterations = 800
+	}
+	if c.BurnIn == 0 {
+		c.BurnIn = c.Iterations / 4
+	}
+	if c.Leapfrog == 0 {
+		c.Leapfrog = 12
+	}
+	if c.StepSize == 0 {
+		c.StepSize = 0.08
+	}
+	if c.Jitter == 0 {
+		c.Jitter = 0.2
+	}
+	return c
+}
+
+func (c HMCConfig) validate() error {
+	if c.Iterations < 1 || c.BurnIn < 0 || c.Leapfrog < 1 || c.StepSize <= 0 || c.Jitter < 0 || c.Jitter > 1 ||
+		c.MissRate < 0 || c.MissRate >= 1 {
+		return fmt.Errorf("core: invalid HMC config %+v", c)
+	}
+	return nil
+}
+
+// RunHMC draws samples from the posterior with Hamiltonian Monte Carlo.
+func RunHMC(ds *Dataset, prior Prior, cfg HMCConfig, rng *stats.RNG) (*Chain, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := prior.Validate(); err != nil {
+		return nil, err
+	}
+	if ds.NumNodes() == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	n := ds.NumNodes()
+
+	// Initialise from the prior, in θ space.
+	betaDist := stats.NewBeta(prior.Alpha, prior.Beta)
+	theta := make([]float64, n)
+	p := make([]float64, n)
+	for i := range theta {
+		theta[i] = stats.Logit(clampP(betaDist.Sample(rng)))
+	}
+	toP := func(theta []float64, p []float64) {
+		for i, th := range theta {
+			p[i] = clampP(stats.Expit(th))
+		}
+	}
+	toP(theta, p)
+	st := newLikState(ds, p, cfg.MissRate)
+
+	grad := make([]float64, n)
+	mom := make([]float64, n)
+	thetaProp := make([]float64, n)
+	pProp := make([]float64, n)
+
+	chain := &Chain{Method: "hmc", Nodes: ds.Nodes()}
+	logPost := st.logPostTheta(prior)
+
+	total := cfg.BurnIn + cfg.Iterations
+	for iter := 0; iter < total; iter++ {
+		// Fresh Gaussian momentum; kinetic energy = |m|^2/2.
+		kin0 := 0.0
+		for i := range mom {
+			mom[i] = rng.Norm()
+			kin0 += mom[i] * mom[i] / 2
+		}
+		copy(thetaProp, theta)
+		copy(pProp, st.p)
+		stProp := newLikState(ds, pProp, cfg.MissRate)
+
+		eps := cfg.StepSize * (1 + cfg.Jitter*(2*rng.Float64()-1))
+		// Leapfrog: half momentum, L-1 full steps, half momentum.
+		stProp.gradLogPostTheta(prior, grad)
+		for i := range mom {
+			mom[i] += eps / 2 * grad[i]
+		}
+		for step := 0; step < cfg.Leapfrog; step++ {
+			for i := range thetaProp {
+				thetaProp[i] += eps * mom[i]
+				// Keep θ in a numerically safe band; expit saturates
+				// beyond ±36 anyway.
+				if thetaProp[i] > 36 {
+					thetaProp[i] = 36
+				}
+				if thetaProp[i] < -36 {
+					thetaProp[i] = -36
+				}
+			}
+			toP(thetaProp, pProp)
+			stProp.setP(pProp)
+			stProp.gradLogPostTheta(prior, grad)
+			scale := eps
+			if step == cfg.Leapfrog-1 {
+				scale = eps / 2
+			}
+			for i := range mom {
+				mom[i] += scale * grad[i]
+			}
+		}
+		kin1 := 0.0
+		for i := range mom {
+			kin1 += mom[i] * mom[i] / 2
+		}
+		logPostProp := stProp.logPostTheta(prior)
+
+		logAlpha := (logPostProp - kin1) - (logPost - kin0)
+		chain.Proposed++
+		if logAlpha >= 0 || math.Log(rng.Float64()+1e-300) < logAlpha {
+			copy(theta, thetaProp)
+			st = stProp
+			logPost = logPostProp
+			chain.Accepted++
+		}
+		if iter >= cfg.BurnIn {
+			chain.Samples = append(chain.Samples, append([]float64(nil), st.p...))
+		}
+	}
+	return chain, nil
+}

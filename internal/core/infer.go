@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+
+	"because/internal/stats"
+)
+
+// Config drives a complete BeCAUSe inference run.
+type Config struct {
+	// Prior on each p_i; zero value selects SparsePrior.
+	Prior Prior
+	// MH and HMC configure the samplers; zero values use defaults.
+	MH  MHConfig
+	HMC HMCConfig
+	// DisableMH / DisableHMC skip a sampler (both run by default, and the
+	// categories are combined by the highest flag).
+	DisableMH, DisableHMC bool
+	// Chains runs this many independent Metropolis-Hastings chains
+	// (default 1). With 2 or more, per-node Gelman-Rubin R-hat diagnostics
+	// are computed across them and reported on each summary.
+	Chains int
+	// HDPIMass is the credible-interval mass (default 0.95).
+	HDPIMass float64
+	// PinpointThreshold is the Eq. 8 vote share (default 0.8). Negative
+	// disables the pinpointing pass.
+	PinpointThreshold float64
+	// MissRate, when positive, switches both samplers to the § 7.2
+	// measurement-error likelihood: a truly-positive path is recorded
+	// negative with this probability. Use it when the labeling stage is
+	// known to lose signatures (session resets, short Breaks).
+	MissRate float64
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Prior == (Prior{}) {
+		c.Prior = SparsePrior
+	}
+	if c.HDPIMass == 0 {
+		c.HDPIMass = 0.95
+	}
+	if c.PinpointThreshold == 0 {
+		c.PinpointThreshold = 0.8
+	}
+	return c
+}
+
+// Result is a full inference outcome.
+type Result struct {
+	// Summaries are per-AS outcomes in dataset node order.
+	Summaries []NodeSummary
+	// Chains are the raw sampler outputs ("mh" and/or "hmc").
+	Chains []*Chain
+	// Pinpointed lists ASes upgraded by the inconsistent-damper pass.
+	Pinpointed []NodeSummary
+}
+
+// Lookup returns the summary for the given AS.
+func (r *Result) Lookup(asn uint32) (NodeSummary, bool) {
+	for _, s := range r.Summaries {
+		if uint32(s.ASN) == asn {
+			return s, true
+		}
+	}
+	return NodeSummary{}, false
+}
+
+// Positives returns the summaries flagged Category 4 or 5.
+func (r *Result) Positives() []NodeSummary {
+	var out []NodeSummary
+	for _, s := range r.Summaries {
+		if s.Category.Positive() {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// CategoryCounts returns how many ASes landed in each category (index 1..5).
+func (r *Result) CategoryCounts() [6]int {
+	var counts [6]int
+	for _, s := range r.Summaries {
+		if s.Category >= 1 && s.Category <= 5 {
+			counts[s.Category]++
+		}
+	}
+	return counts
+}
+
+// Infer runs the configured samplers over the dataset and produces
+// categorised per-AS summaries — the complete BeCAUSe pipeline of § 5.1.
+func Infer(ds *Dataset, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if ds == nil || ds.NumPaths() == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	if cfg.DisableMH && cfg.DisableHMC {
+		return nil, fmt.Errorf("core: both samplers disabled")
+	}
+	cfg.MH.MissRate = cfg.MissRate
+	cfg.HMC.MissRate = cfg.MissRate
+	if cfg.Chains < 1 {
+		cfg.Chains = 1
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	var chains []*Chain
+	var mhChains []*Chain
+	if !cfg.DisableMH {
+		for k := 0; k < cfg.Chains; k++ {
+			c, err := RunMH(ds, cfg.Prior, cfg.MH, rng.Split())
+			if err != nil {
+				return nil, fmt.Errorf("core: MH: %w", err)
+			}
+			chains = append(chains, c)
+			mhChains = append(mhChains, c)
+		}
+	}
+	if !cfg.DisableHMC {
+		c, err := RunHMC(ds, cfg.Prior, cfg.HMC, rng.Split())
+		if err != nil {
+			return nil, fmt.Errorf("core: HMC: %w", err)
+		}
+		chains = append(chains, c)
+	}
+	summaries, err := Summarize(ds, chains, cfg.HDPIMass)
+	if err != nil {
+		return nil, err
+	}
+	if len(mhChains) >= 2 {
+		for i := range summaries {
+			marginals := make([][]float64, len(mhChains))
+			for k, c := range mhChains {
+				marginals[k] = c.Marginal(i)
+			}
+			summaries[i].RHat = RHat(marginals)
+		}
+	}
+	res := &Result{Summaries: summaries, Chains: chains}
+	if cfg.PinpointThreshold > 0 {
+		upgraded := PinpointInconsistent(ds, chains, res.Summaries, cfg.PinpointThreshold)
+		for _, asn := range upgraded {
+			for _, s := range res.Summaries {
+				if s.ASN == asn {
+					res.Pinpointed = append(res.Pinpointed, s)
+				}
+			}
+		}
+	}
+	return res, nil
+}

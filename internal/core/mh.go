@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"because/internal/stats"
+)
+
+// MHConfig configures the Metropolis–Hastings sampler. The sampler is a
+// random-scan single-coordinate random walk (Metropolis-within-Gibbs): each
+// sweep proposes a truncated-normal move for every coordinate in random
+// order, with the proposal-asymmetry correction of Eq. 7.
+type MHConfig struct {
+	// Sweeps is the number of post-burn-in sweeps retained (one sample per
+	// sweep). Default 1500.
+	Sweeps int
+	// BurnIn sweeps are discarded. Default Sweeps/4.
+	BurnIn int
+	// StepSize is the proposal standard deviation. Default 0.15.
+	StepSize float64
+	// Thin keeps every Thin-th sweep. Default 1.
+	Thin int
+	// MissRate, when positive, enables the § 7.2 measurement-error
+	// likelihood: a truly-positive path is recorded negative with this
+	// probability.
+	MissRate float64
+}
+
+func (c MHConfig) withDefaults() MHConfig {
+	if c.Sweeps == 0 {
+		c.Sweeps = 1500
+	}
+	if c.BurnIn == 0 {
+		c.BurnIn = c.Sweeps / 4
+	}
+	if c.StepSize == 0 {
+		c.StepSize = 0.15
+	}
+	if c.Thin == 0 {
+		c.Thin = 1
+	}
+	return c
+}
+
+func (c MHConfig) validate() error {
+	if c.Sweeps < 1 || c.BurnIn < 0 || c.StepSize <= 0 || c.Thin < 1 ||
+		c.MissRate < 0 || c.MissRate >= 1 {
+		return fmt.Errorf("core: invalid MH config %+v", c)
+	}
+	return nil
+}
+
+// RunMH draws samples from the posterior with Metropolis–Hastings.
+func RunMH(ds *Dataset, prior Prior, cfg MHConfig, rng *stats.RNG) (*Chain, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := prior.Validate(); err != nil {
+		return nil, err
+	}
+	if ds.NumNodes() == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	n := ds.NumNodes()
+
+	// Initialise from the prior.
+	betaDist := stats.NewBeta(prior.Alpha, prior.Beta)
+	p0 := make([]float64, n)
+	for i := range p0 {
+		p0[i] = clampP(betaDist.Sample(rng))
+	}
+	st := newLikState(ds, p0, cfg.MissRate)
+
+	chain := &Chain{Method: "mh", Nodes: ds.Nodes()}
+	total := cfg.BurnIn + cfg.Sweeps
+	for sweep := 0; sweep < total; sweep++ {
+		order := rng.Perm(n)
+		for _, i := range order {
+			cur := st.p[i]
+			prop := stats.TruncNormal{Mu: cur, Sigma: cfg.StepSize, Lo: 0, Hi: 1}
+			cand := clampP(prop.Sample(rng))
+			// log acceptance ratio: likelihood delta + prior delta +
+			// proposal asymmetry Q(p|p')/Q(p'|p).
+			back := stats.TruncNormal{Mu: cand, Sigma: cfg.StepSize, Lo: 0, Hi: 1}
+			logAlpha := st.deltaFor(i, cand) +
+				logPriorAt(prior, cand) - logPriorAt(prior, cur) +
+				back.LogPDF(cur) - prop.LogPDF(cand)
+			chain.Proposed++
+			if logAlpha >= 0 || math.Log(rng.Float64()+1e-300) < logAlpha {
+				st.apply(i, cand)
+				chain.Accepted++
+			}
+		}
+		if sweep >= cfg.BurnIn && (sweep-cfg.BurnIn)%cfg.Thin == 0 {
+			chain.Samples = append(chain.Samples, append([]float64(nil), st.p...))
+		}
+		// Periodically cancel numeric drift in the incremental cache.
+		if sweep%256 == 255 {
+			st.recompute()
+		}
+	}
+	return chain, nil
+}

@@ -1,0 +1,225 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"because/internal/bgp"
+	"because/internal/collector"
+	"because/internal/stats"
+)
+
+// asLink is an undirected adjacency observed on a measured path.
+type asLink struct {
+	a, b bgp.ASN
+}
+
+func mkLink(a, b bgp.ASN) asLink {
+	if a > b {
+		a, b = b, a
+	}
+	return asLink{a, b}
+}
+
+// Fig6Result quantifies per-site link visibility (Figure 6): how much of
+// the union of observed AS links a single beacon site already covers, and
+// how multi-site observation multiplies per-link path counts.
+type Fig6Result struct {
+	TotalLinks int
+	// SiteShare maps each beacon site AS to its share of TotalLinks.
+	SiteShare map[bgp.ASN]float64
+	// MedianPathsPerLinkSingle is the median number of distinct paths a
+	// link appears on when using one site (averaged over sites);
+	// MedianPathsPerLinkAll uses all sites together.
+	MedianPathsPerLinkSingle float64
+	MedianPathsPerLinkAll    float64
+}
+
+// Fig6LinkSimilarity computes Figure 6 from the 1-minute campaign run.
+func Fig6LinkSimilarity(run *Run) *Fig6Result {
+	all := make(map[asLink]map[string]bool) // link -> set of path keys
+	perSite := make(map[bgp.ASN]map[asLink]bool)
+	for _, m := range run.Measurements {
+		key := bgp.PathKey(m.Path)
+		for i := 1; i < len(m.Path); i++ {
+			l := mkLink(m.Path[i-1], m.Path[i])
+			if all[l] == nil {
+				all[l] = make(map[string]bool)
+			}
+			all[l][key] = true
+			if perSite[m.Site] == nil {
+				perSite[m.Site] = make(map[asLink]bool)
+			}
+			perSite[m.Site][l] = true
+		}
+	}
+	res := &Fig6Result{TotalLinks: len(all), SiteShare: make(map[bgp.ASN]float64)}
+	for site, links := range perSite {
+		res.SiteShare[site] = float64(len(links)) / float64(len(all))
+	}
+	// Median paths per link: single site (per-site medians averaged) vs all.
+	var allCounts []float64
+	for _, paths := range all {
+		allCounts = append(allCounts, float64(len(paths)))
+	}
+	res.MedianPathsPerLinkAll = stats.Median(allCounts)
+	var singleMedians []float64
+	for site := range perSite {
+		// Count per-link distinct paths restricted to this site.
+		var counts []float64
+		linkPaths := make(map[asLink]map[string]bool)
+		for _, m := range run.Measurements {
+			if m.Site != site {
+				continue
+			}
+			key := bgp.PathKey(m.Path)
+			for i := 1; i < len(m.Path); i++ {
+				l := mkLink(m.Path[i-1], m.Path[i])
+				if linkPaths[l] == nil {
+					linkPaths[l] = make(map[string]bool)
+				}
+				linkPaths[l][key] = true
+			}
+		}
+		for _, paths := range linkPaths {
+			counts = append(counts, float64(len(paths)))
+		}
+		if len(counts) > 0 {
+			singleMedians = append(singleMedians, stats.Median(counts))
+		}
+	}
+	res.MedianPathsPerLinkSingle = stats.Mean(singleMedians)
+	return res
+}
+
+// Report renders Figure 6.
+func (r *Fig6Result) Report() Report {
+	rep := Report{ID: "fig6", Title: "Similarity of links on AS paths between beacon sites"}
+	rep.Lines = append(rep.Lines, fmt.Sprintf("total observed AS links: %d", r.TotalLinks))
+	var sites []bgp.ASN
+	for s := range r.SiteShare {
+		sites = append(sites, s)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	for _, s := range sites {
+		rep.Lines = append(rep.Lines, fmt.Sprintf("site %v: sees %.0f%% of all links", s, 100*r.SiteShare[s]))
+	}
+	rep.Lines = append(rep.Lines,
+		fmt.Sprintf("median paths per link: single site %.1f -> all sites %.1f",
+			r.MedianPathsPerLinkSingle, r.MedianPathsPerLinkAll))
+	return rep
+}
+
+// Fig7Result measures the per-project data contribution (Figure 7).
+type Fig7Result struct {
+	// PathsByProject counts distinct (vp, prefix, path) triples per project.
+	PathsByProject map[collector.Project]int
+	// UniqueByProject counts path keys seen by exactly one project.
+	UniqueByProject map[collector.Project]int
+	// Union is the total number of distinct path keys.
+	Union int
+}
+
+// Fig7ProjectOverlap computes Figure 7 from a campaign run.
+func Fig7ProjectOverlap(run *Run) *Fig7Result {
+	res := &Fig7Result{
+		PathsByProject:  make(map[collector.Project]int),
+		UniqueByProject: make(map[collector.Project]int),
+	}
+	pathProjects := make(map[string]map[collector.Project]bool)
+	for _, m := range run.Measurements {
+		res.PathsByProject[m.VP.Project]++
+		key := bgp.PathKey(m.Path)
+		if pathProjects[key] == nil {
+			pathProjects[key] = make(map[collector.Project]bool)
+		}
+		pathProjects[key][m.VP.Project] = true
+	}
+	res.Union = len(pathProjects)
+	for _, projs := range pathProjects {
+		if len(projs) == 1 {
+			for p := range projs {
+				res.UniqueByProject[p]++
+			}
+		}
+	}
+	return res
+}
+
+// Report renders Figure 7.
+func (r *Fig7Result) Report() Report {
+	rep := Report{ID: "fig7", Title: "Overlap of gathered data between collector projects"}
+	rep.Lines = append(rep.Lines, fmt.Sprintf("distinct AS paths overall: %d", r.Union))
+	for _, p := range collector.Projects {
+		rep.Lines = append(rep.Lines, fmt.Sprintf("%-11s measurements=%-4d unique paths=%d",
+			p, r.PathsByProject[p], r.UniqueByProject[p]))
+	}
+	return rep
+}
+
+// Fig8Result summarises anchor-prefix propagation times (Figure 8).
+type Fig8Result struct {
+	// Overall quantiles of the propagation delta in seconds.
+	P10, P50, P90, P99 float64
+	// PerProject holds the median and 90th percentile per project.
+	PerProject map[collector.Project][2]float64
+	Samples    int
+	// RouteViewsOn50s is the share of RouteViews samples landing exactly
+	// on the 50-second export cycle.
+	RouteViewsOn50s float64
+}
+
+// Fig8Propagation computes Figure 8 from a run's anchor-prefix control
+// samples.
+func Fig8Propagation(run *Run) *Fig8Result {
+	res := &Fig8Result{PerProject: make(map[collector.Project][2]float64)}
+	var all []float64
+	perProj := make(map[collector.Project][]float64)
+	rvOn50 := 0
+	rvTotal := 0
+	for _, s := range run.Propagation {
+		sec := s.Delta.Seconds()
+		all = append(all, sec)
+		perProj[s.VP.Project] = append(perProj[s.VP.Project], sec)
+		if s.VP.Project == collector.RouteViews {
+			rvTotal++
+			if int64(sec)%50 == 0 {
+				rvOn50++
+			}
+		}
+	}
+	res.Samples = len(all)
+	if len(all) == 0 {
+		return res
+	}
+	res.P10 = stats.Quantile(all, 0.1)
+	res.P50 = stats.Quantile(all, 0.5)
+	res.P90 = stats.Quantile(all, 0.9)
+	res.P99 = stats.Quantile(all, 0.99)
+	for p, xs := range perProj {
+		res.PerProject[p] = [2]float64{stats.Quantile(xs, 0.5), stats.Quantile(xs, 0.9)}
+	}
+	if rvTotal > 0 {
+		res.RouteViewsOn50s = float64(rvOn50) / float64(rvTotal)
+	}
+	return res
+}
+
+// Report renders Figure 8.
+func (r *Fig8Result) Report() Report {
+	rep := Report{ID: "fig8", Title: "Propagation time of anchor prefixes at vantage points"}
+	rep.Lines = append(rep.Lines,
+		fmt.Sprintf("samples: %d", r.Samples),
+		fmt.Sprintf("propagation seconds: p10=%.0f p50=%.0f p90=%.0f p99=%.0f", r.P10, r.P50, r.P90, r.P99),
+	)
+	for _, p := range collector.Projects {
+		q, ok := r.PerProject[p]
+		if !ok {
+			continue
+		}
+		rep.Lines = append(rep.Lines, fmt.Sprintf("%-11s median=%.0fs p90=%.0fs", p, q[0], q[1]))
+	}
+	rep.Lines = append(rep.Lines,
+		fmt.Sprintf("routeviews exports on 50s cycle: %.0f%%", 100*r.RouteViewsOn50s))
+	return rep
+}

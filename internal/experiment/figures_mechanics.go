@@ -1,0 +1,241 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"because/internal/beacon"
+	"because/internal/bgp"
+	"because/internal/label"
+	"because/internal/netsim"
+	"because/internal/rfd"
+	"because/internal/router"
+	"because/internal/stats"
+	"because/internal/topology"
+)
+
+// TracePoint is one sample of the Figure-2 penalty trace.
+type TracePoint struct {
+	T          time.Duration // offset from trace start
+	Penalty    float64
+	Suppressed bool
+}
+
+// Fig2Result is the router-perspective RFD mechanics trace of Figure 2.
+type Fig2Result struct {
+	Params   rfd.Params
+	Interval time.Duration
+	Points   []TracePoint
+	// SuppressAt is when the prefix was first suppressed; ReleaseAt when
+	// it was released after the flapping stopped.
+	SuppressAt, ReleaseAt time.Duration
+}
+
+// Fig2PenaltyTrace reproduces Figure 2: a single damping session fed an
+// oscillating prefix; the penalty climbs by 1000 per flap, decays by the
+// half-life in between, crosses the suppress threshold, and after the
+// prefix stops oscillating decays below the reuse threshold, releasing it.
+func Fig2PenaltyTrace(params rfd.Params, interval, flapFor, observeFor time.Duration) (*Fig2Result, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if interval <= 0 || flapFor <= 0 || observeFor < flapFor {
+		return nil, fmt.Errorf("experiment: bad fig2 timing")
+	}
+	d := rfd.New[string](params)
+	const key = "prefix"
+	start := Start
+	res := &Fig2Result{Params: params, Interval: interval, SuppressAt: -1, ReleaseAt: -1}
+
+	// Feed alternating withdraw/announce events while sampling the decayed
+	// penalty every 30 seconds.
+	sample := func(at time.Time) {
+		res.Points = append(res.Points, TracePoint{
+			T:          at.Sub(start),
+			Penalty:    d.Penalty(key, at),
+			Suppressed: d.Suppressed(key, at),
+		})
+	}
+	withdraw := true
+	nextEvent := start
+	for at := start; at.Sub(start) <= observeFor; at = at.Add(30 * time.Second) {
+		for !nextEvent.After(at) && nextEvent.Sub(start) < flapFor {
+			ev := rfd.EventWithdraw
+			if !withdraw {
+				ev = rfd.EventReadvertise
+			}
+			wasSuppressed := d.Suppressed(key, nextEvent)
+			if d.Record(key, nextEvent, ev) && !wasSuppressed && res.SuppressAt < 0 {
+				res.SuppressAt = nextEvent.Sub(start)
+			}
+			withdraw = !withdraw
+			nextEvent = nextEvent.Add(interval)
+		}
+		sample(at)
+		if res.SuppressAt >= 0 && res.ReleaseAt < 0 && !d.Suppressed(key, at) {
+			res.ReleaseAt = at.Sub(start)
+		}
+	}
+	return res, nil
+}
+
+// Report renders the trace as a coarse text series.
+func (r *Fig2Result) Report() Report {
+	rep := Report{ID: "fig2", Title: "RFD penalty mechanics (router perspective)"}
+	rep.Lines = append(rep.Lines,
+		fmt.Sprintf("params: suppress=%.0f reuse=%.0f half-life=%v max-suppress=%v",
+			r.Params.SuppressThreshold, r.Params.ReuseThreshold, r.Params.HalfLife, r.Params.MaxSuppressTime),
+		fmt.Sprintf("flap interval: %v", r.Interval),
+		fmt.Sprintf("suppressed at t=%v, released at t=%v", r.SuppressAt, r.ReleaseAt),
+	)
+	for i := 0; i < len(r.Points); i += 4 { // every 2 minutes
+		p := r.Points[i]
+		mark := ""
+		if p.Suppressed {
+			mark = "  [suppressed]"
+		}
+		rep.Lines = append(rep.Lines, fmt.Sprintf("t=%8s penalty=%7.1f%s", p.T, p.Penalty, mark))
+	}
+	return rep
+}
+
+// Fig5Event is one observed update in the Figure-5 signature timeline.
+type Fig5Event struct {
+	T        time.Duration // offset from burst start
+	Withdraw bool
+}
+
+// Fig5Result contrasts the vantage-point view of a beacon prefix through a
+// damping AS against a clean path (Figure 5).
+type Fig5Result struct {
+	RFDPath    []bgp.ASN
+	CleanPath  []bgp.ASN
+	RFDEvents  []Fig5Event
+	CleanEvent []Fig5Event
+	// RDelta is the re-advertisement delta measured on the RFD path.
+	RDelta time.Duration
+	// RFDLabeled and CleanLabeled are the labeling stage's verdicts.
+	RFDLabeled, CleanLabeled bool
+}
+
+// Fig5Signature builds the minimal two-path world of Figure 5: one beacon
+// behind a Cisco-default damper, one behind a clean transit, driven by a
+// 1-minute Burst, and reports the resulting vantage-point timelines and
+// labels.
+func Fig5Signature() (*Fig5Result, error) {
+	g := topology.NewGraph()
+	type link struct{ a, b bgp.ASN }
+	for asn, tier := range map[bgp.ASN]topology.Tier{
+		1: topology.TierOne, 2: topology.TierTransit, 3: topology.TierStub,
+		4: topology.TierTransit, 5: topology.TierStub,
+	} {
+		if err := g.AddAS(asn, tier); err != nil {
+			return nil, err
+		}
+	}
+	for _, l := range []link{{1, 2}, {2, 3}, {1, 4}, {4, 5}} {
+		if err := g.AddLink(l.a, l.b, topology.RelCustomer); err != nil {
+			return nil, err
+		}
+	}
+	eng := netsim.NewEngine(Start.Add(-time.Hour))
+	net := router.New(eng, g, router.Options{
+		LinkDelay: func(a, b bgp.ASN, rng *stats.RNG) time.Duration { return 50 * time.Millisecond },
+		MRAI:      func(asn bgp.ASN, rng *stats.RNG) time.Duration { return 0 },
+		RFD: func(asn bgp.ASN) *router.RFDPolicy {
+			if asn == 2 {
+				return &router.RFDPolicy{Params: rfd.Cisco}
+			}
+			return nil
+		},
+	}, stats.NewRNG(5))
+
+	res := &Fig5Result{RFDPath: []bgp.ASN{1, 2, 3}, CleanPath: []bgp.ASN{1, 4, 5}}
+	pfxRFD := bgp.MustPrefix("10.1.1.0/24")
+	pfxClean := bgp.MustPrefix("10.2.1.0/24")
+	if err := net.AttachMonitor(1, func(now time.Time, u *bgp.Update) {
+		ev := Fig5Event{T: now.Sub(Start), Withdraw: u.IsWithdrawalOnly()}
+		var has func(p bgp.Prefix) bool
+		if ev.Withdraw {
+			has = func(p bgp.Prefix) bool { return len(u.Withdrawn) > 0 && u.Withdrawn[0] == p }
+		} else {
+			has = func(p bgp.Prefix) bool { return len(u.NLRI) > 0 && u.NLRI[0] == p }
+		}
+		switch {
+		case has(pfxRFD):
+			res.RFDEvents = append(res.RFDEvents, ev)
+		case has(pfxClean):
+			res.CleanEvent = append(res.CleanEvent, ev)
+		}
+	}); err != nil {
+		return nil, err
+	}
+
+	// A 2 h Burst at 1-minute updates for each prefix, driven through the
+	// real beacon scheduler (one pair, long Break).
+	for _, sp := range []struct {
+		site   bgp.ASN
+		prefix bgp.Prefix
+	}{{3, pfxRFD}, {5, pfxClean}} {
+		sched := beacon.Schedule{
+			Site: sp.site, Prefix: sp.prefix, UpdateInterval: time.Minute,
+			BurstLen: 2 * time.Hour, BreakLen: 6 * time.Hour, Pairs: 1, Start: Start,
+		}
+		evs, err := sched.Events()
+		if err != nil {
+			return nil, err
+		}
+		if err := beacon.Drive(eng, net, evs); err != nil {
+			return nil, err
+		}
+	}
+	eng.Run()
+
+	// The delayed re-advertisement on the RFD path.
+	burstEnd := 119 * time.Minute // last odd step of a 2 h burst at 1-minute interval
+	for _, ev := range res.RFDEvents {
+		if !ev.Withdraw && ev.T > burstEnd+5*time.Minute {
+			res.RDelta = ev.T - burstEnd
+			break
+		}
+	}
+	res.RFDLabeled = res.RDelta >= 5*time.Minute
+	// The clean path tracks the burst: a path is clean when no announcement
+	// arrives with an RFD-scale delay after the burst end.
+	res.CleanLabeled = false
+	for _, ev := range res.CleanEvent {
+		if !ev.Withdraw && ev.T > burstEnd+5*time.Minute {
+			res.CleanLabeled = true
+		}
+	}
+	return res, nil
+}
+
+// Report renders the signature comparison.
+func (r *Fig5Result) Report() Report {
+	rep := Report{ID: "fig5", Title: "Beacon pattern and RFD signature (r-delta)"}
+	rep.Lines = append(rep.Lines,
+		fmt.Sprintf("RFD path   %v: %d updates observed, r-delta=%v, labeled RFD=%v",
+			r.RFDPath, len(r.RFDEvents), r.RDelta.Round(time.Second), r.RFDLabeled),
+		fmt.Sprintf("clean path %v: %d updates observed, labeled RFD=%v",
+			r.CleanPath, len(r.CleanEvent), r.CleanLabeled),
+	)
+	return rep
+}
+
+// rdeltasOf collects all per-pair r-deltas of a run's RFD paths; shared by
+// Figure 13 and the Fig5 sanity tests.
+func rdeltasOf(ms []label.Measurement) []float64 {
+	var out []float64
+	for _, m := range ms {
+		if !m.RFD || len(m.RDeltas) == 0 {
+			continue
+		}
+		mean := 0.0
+		for _, d := range m.RDeltas {
+			mean += d.Minutes()
+		}
+		out = append(out, mean/float64(len(m.RDeltas)))
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"because/internal/beacon"
+	"because/internal/core"
+)
+
+// PaperIntervals are the six beacon update intervals of the study
+// (March 2020: 1, 2, 3 min; April 2020: 5, 10, 15 min).
+var PaperIntervals = []time.Duration{
+	1 * time.Minute, 2 * time.Minute, 3 * time.Minute,
+	5 * time.Minute, 10 * time.Minute, 15 * time.Minute,
+}
+
+// Suite caches the scenario, campaign runs and inference results so the
+// table/figure generators can share them — running the 1-minute campaign
+// once instead of once per figure.
+type Suite struct {
+	cfg      ScenarioConfig
+	pairs    int
+	scenario *Scenario
+	runs     map[time.Duration]*Run
+	infers   map[time.Duration]*inference
+}
+
+type inference struct {
+	res *core.Result
+	ds  *core.Dataset
+}
+
+// NewSuite builds the scenario once. pairs is the number of Burst-Break
+// pairs per campaign (0 selects 3).
+func NewSuite(cfg ScenarioConfig, pairs int) (*Suite, error) {
+	if pairs == 0 {
+		pairs = 3
+	}
+	s, err := NewScenario(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Suite{
+		cfg:      cfg,
+		pairs:    pairs,
+		scenario: s,
+		runs:     make(map[time.Duration]*Run),
+		infers:   make(map[time.Duration]*inference),
+	}, nil
+}
+
+// Scenario returns the shared world.
+func (s *Suite) Scenario() *Scenario { return s.scenario }
+
+// Pairs returns the configured Burst-Break pair count.
+func (s *Suite) Pairs() int { return s.pairs }
+
+// IntervalRun returns the (cached) campaign run for one update interval.
+func (s *Suite) IntervalRun(interval time.Duration) (*Run, error) {
+	if run, ok := s.runs[interval]; ok {
+		return run, nil
+	}
+	run, err := s.scenario.RunCampaign(IntervalCampaign(interval, s.pairs))
+	if err != nil {
+		return nil, err
+	}
+	s.runs[interval] = run
+	return run, nil
+}
+
+// Inference returns the (cached) BeCAUSe result for one interval.
+func (s *Suite) Inference(interval time.Duration) (*core.Result, *core.Dataset, error) {
+	if inf, ok := s.infers[interval]; ok {
+		return inf.res, inf.ds, nil
+	}
+	run, err := s.IntervalRun(interval)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, ds, err := run.Infer()
+	if err != nil {
+		return nil, nil, err
+	}
+	s.infers[interval] = &inference{res: res, ds: ds}
+	return res, ds, nil
+}
+
+// Campaign runs an arbitrary multi-interval campaign (uncached).
+func (s *Suite) Campaign(c beacon.Campaign) (*Run, error) {
+	return s.scenario.RunCampaign(c)
+}
+
+// Report is a rendered experiment: a title, paper-style text rows, and is
+// what cmd/experiments prints.
+type Report struct {
+	ID    string
+	Title string
+	Lines []string
+}
+
+// String renders the report.
+func (r Report) String() string {
+	out := fmt.Sprintf("== %s: %s ==\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		out += l + "\n"
+	}
+	return out
+}
+
+// sortedDurations returns ds ascending.
+func sortedDurations(m map[time.Duration]bool) []time.Duration {
+	var out []time.Duration
+	for d := range m {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,288 @@
+// Package heuristics implements the three passive-measurement heuristics
+// of § 5.2, used as the comparison baseline for BeCAUSe:
+//
+//	M1 — RFD path ratio: the share of an AS's paths showing the RFD signal;
+//	M2 — alternative paths: a damping AS does not appear on the alternative
+//	     paths revealed by path hunting while the primary is damped;
+//	M3 — announcement distribution: a damping AS's update stream thins out
+//	     toward the end of a Burst (Figure 10), quantified by the slope of
+//	     a 40-bin histogram's linear regression.
+//
+// The final per-AS output is the average of the three metrics; an AS is
+// flagged RFD when the average crosses the (tunable) threshold. Unlike
+// BeCAUSe, the heuristics need this tuning, cannot express uncertainty,
+// and mislabel downstream ASes that merely sit behind a damper — the
+// failure modes Table 3 documents.
+package heuristics
+
+import (
+	"sort"
+
+	"because/internal/beacon"
+	"because/internal/bgp"
+	"because/internal/collector"
+	"because/internal/label"
+	"because/internal/stats"
+)
+
+// Config tunes the heuristics. Zero values select the paper's settings.
+type Config struct {
+	// Threshold flags an AS as RFD when the average metric crosses it
+	// (default 0.5).
+	Threshold float64
+	// Bins is the Burst histogram resolution for M3 (default 40).
+	Bins int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threshold == 0 {
+		c.Threshold = 0.5
+	}
+	if c.Bins == 0 {
+		c.Bins = 40
+	}
+	return c
+}
+
+// Input bundles everything the heuristics read: labeled path measurements
+// (M1, M2) and the raw archived updates plus schedules (M3).
+type Input struct {
+	Measurements []label.Measurement
+	Entries      []collector.Entry
+	Schedules    []beacon.Schedule
+}
+
+// Score is the per-AS heuristic outcome.
+type Score struct {
+	ASN bgp.ASN
+	// M1, M2, M3 are the individual metrics in [0,1]; NaN-free (a metric
+	// without data contributes 0).
+	M1, M2, M3 float64
+	// Avg is the mean of the available metrics.
+	Avg float64
+	// RFD is the thresholded decision.
+	RFD bool
+}
+
+// Evaluate runs all three heuristics and returns per-AS scores sorted by
+// ASN.
+func Evaluate(in Input, cfg Config) []Score {
+	cfg = cfg.withDefaults()
+	m1 := pathRatio(in.Measurements)
+	m2 := alternativePaths(in.Measurements)
+	m3 := burstDistribution(in.Entries, in.Schedules, cfg.Bins)
+
+	asns := make(map[bgp.ASN]bool)
+	for a := range m1 {
+		asns[a] = true
+	}
+	for a := range m2 {
+		asns[a] = true
+	}
+	for a := range m3 {
+		asns[a] = true
+	}
+	var out []Score
+	for a := range asns {
+		s := Score{ASN: a}
+		n := 0
+		if v, ok := m1[a]; ok {
+			s.M1 = v
+			s.Avg += v
+			n++
+		}
+		if v, ok := m2[a]; ok {
+			s.M2 = v
+			s.Avg += v
+			n++
+		}
+		if v, ok := m3[a]; ok {
+			s.M3 = v
+			s.Avg += v
+			n++
+		}
+		if n > 0 {
+			s.Avg /= float64(n)
+		}
+		s.RFD = s.Avg >= cfg.Threshold
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ASN < out[j].ASN })
+	return out
+}
+
+// pathRatio computes M1: #RFD paths / #paths per AS, over the tomography
+// portion of each path (the origin cannot damp its own prefix).
+func pathRatio(ms []label.Measurement) map[bgp.ASN]float64 {
+	rfd := make(map[bgp.ASN]int)
+	total := make(map[bgp.ASN]int)
+	for _, m := range ms {
+		for _, a := range m.TomographyPath() {
+			total[a]++
+			if m.RFD {
+				rfd[a]++
+			}
+		}
+	}
+	out := make(map[bgp.ASN]float64, len(total))
+	for a, t := range total {
+		out[a] = float64(rfd[a]) / float64(t)
+	}
+	return out
+}
+
+// alternativePaths computes M2: for every damped path, the alternative
+// paths between the same beacon site and vantage point; per AS, the average
+// share of alternatives NOT containing the AS. A damping AS is avoided by
+// the alternatives (path hunting routes around the suppression), so its
+// share approaches 1.
+func alternativePaths(ms []label.Measurement) map[bgp.ASN]float64 {
+	type pairKey struct {
+		site bgp.ASN
+		vp   collector.VantagePoint
+	}
+	groups := make(map[pairKey][]label.Measurement)
+	for _, m := range ms {
+		groups[pairKey{m.Site, m.VP}] = append(groups[pairKey{m.Site, m.VP}], m)
+	}
+	sum := make(map[bgp.ASN]float64)
+	cnt := make(map[bgp.ASN]int)
+	for _, group := range groups {
+		for _, m := range group {
+			if !m.RFD {
+				continue
+			}
+			mKey := bgp.PathKey(m.Path)
+			var alts [][]bgp.ASN
+			for _, alt := range group {
+				if bgp.PathKey(alt.Path) != mKey {
+					alts = append(alts, alt.TomographyPath())
+				}
+			}
+			if len(alts) == 0 {
+				continue
+			}
+			for _, a := range m.TomographyPath() {
+				without := 0
+				for _, alt := range alts {
+					found := false
+					for _, x := range alt {
+						if x == a {
+							found = true
+							break
+						}
+					}
+					if !found {
+						without++
+					}
+				}
+				sum[a] += float64(without) / float64(len(alts))
+				cnt[a]++
+			}
+		}
+	}
+	out := make(map[bgp.ASN]float64, len(sum))
+	for a, s := range sum {
+		out[a] = s / float64(cnt[a])
+	}
+	return out
+}
+
+// BurstHistogramOf returns one AS's Burst announcement histogram and its
+// fitted regression line — the raw material of the paper's Figure 10. ok is
+// false when the AS was not observed on any announcement.
+func BurstHistogramOf(entries []collector.Entry, schedules []beacon.Schedule, asn bgp.ASN, bins int) (hist []float64, reg stats.LinReg, ok bool) {
+	if bins == 0 {
+		bins = 40
+	}
+	hists := burstHistograms(entries, schedules, bins)
+	h, ok := hists[asn]
+	if !ok {
+		return nil, stats.LinReg{}, false
+	}
+	xs := make([]float64, bins)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	return h, stats.LinRegFit(xs, h), true
+}
+
+// burstHistograms bins the Burst announcements per AS: every announcement
+// observed during a Burst window is credited to each non-origin AS on its
+// cleaned path.
+func burstHistograms(entries []collector.Entry, schedules []beacon.Schedule, bins int) map[bgp.ASN][]float64 {
+	scheds := make(map[bgp.Prefix]beacon.Schedule)
+	for _, s := range schedules {
+		if !s.IsAnchor() {
+			scheds[s.Prefix] = s
+		}
+	}
+	hists := make(map[bgp.ASN][]float64)
+	for _, e := range entries {
+		if e.Update.IsWithdrawalOnly() {
+			continue
+		}
+		for _, p := range e.Update.NLRI {
+			sched, ok := scheds[p]
+			if !ok {
+				continue
+			}
+			for pair := 0; pair < sched.Pairs; pair++ {
+				start, end, _ := sched.PairWindow(pair)
+				if e.Exported.Before(start) || e.Exported.After(end) {
+					continue
+				}
+				frac := float64(e.Exported.Sub(start)) / float64(end.Sub(start))
+				bin := int(frac * float64(bins))
+				if bin >= bins {
+					bin = bins - 1
+				}
+				path := e.Update.ASPath.Clean()
+				for k, a := range path {
+					if k == len(path)-1 {
+						break // origin cannot damp its own prefix
+					}
+					h := hists[a]
+					if h == nil {
+						h = make([]float64, bins)
+						hists[a] = h
+					}
+					h[bin]++
+				}
+				break
+			}
+		}
+	}
+	return hists
+}
+
+// burstDistribution computes M3: per AS, histogram the announcements
+// observed during Bursts on paths containing the AS into bins, fit a line
+// to the bin heights, and map the relative decline over the Burst to a
+// score in [0, 1] — flat streams score ~0, streams that die out score ~1.
+func burstDistribution(entries []collector.Entry, schedules []beacon.Schedule, bins int) map[bgp.ASN]float64 {
+	hists := burstHistograms(entries, schedules, bins)
+	out := make(map[bgp.ASN]float64, len(hists))
+	xs := make([]float64, bins)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	for a, h := range hists {
+		reg := stats.LinRegFit(xs, h)
+		if reg.Intercept <= 0 {
+			out[a] = 0
+			continue
+		}
+		// Relative decline from the fitted start to the fitted end of the
+		// Burst: 1 means the stream died out completely.
+		decline := -reg.Slope * float64(bins-1) / reg.Intercept
+		if decline < 0 {
+			decline = 0
+		}
+		if decline > 1 {
+			decline = 1
+		}
+		out[a] = decline
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+// Package mrt implements the MRT export format (RFC 6396) used by the
+// route collector projects the paper consumes (RIPE RIS, RouteViews,
+// Isolario). The simulator's collectors archive BGP4MP_MESSAGE_AS4 records,
+// and the labeling stage reads them back, so the full measurement path runs
+// through the same byte format as a real study.
+//
+// Only the BGP4MP message subtypes needed by the pipeline are implemented;
+// unknown record types are surfaced with their raw body so readers can skip
+// them, mirroring how BGP dump tooling behaves on mixed archives.
+package mrt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+
+	"because/internal/bgp"
+)
+
+// MRT record types (RFC 6396 § 4).
+const (
+	TypeBGP4MP   = 16
+	TypeBGP4MPET = 17
+)
+
+// BGP4MP subtypes (RFC 6396 § 4.4).
+const (
+	SubtypeStateChange    = 0
+	SubtypeMessage        = 1
+	SubtypeMessageAS4     = 4
+	SubtypeStateChangeAS4 = 5
+)
+
+// AFI values used in BGP4MP headers.
+const (
+	AFIIPv4 = 1
+	AFIIPv6 = 2
+)
+
+// Errors returned by the reader.
+var (
+	ErrTruncated   = errors.New("mrt: truncated record")
+	ErrBadAFI      = errors.New("mrt: unsupported address family")
+	ErrNotBGP4MP   = errors.New("mrt: record is not a BGP4MP message")
+	ErrBodyTooLong = errors.New("mrt: record body exceeds sane limit")
+)
+
+// maxBody bounds record allocation when reading untrusted dumps.
+const maxBody = 1 << 20
+
+// Record is one decoded MRT record. For BGP4MP message records the BGP
+// update is decoded into Update; for any other type/subtype the raw body is
+// retained and Update is nil.
+type Record struct {
+	Timestamp time.Time
+	Type      uint16
+	Subtype   uint16
+
+	// BGP4MP message fields.
+	PeerAS  bgp.ASN
+	LocalAS bgp.ASN
+	PeerIP  netip.Addr
+	LocalIP netip.Addr
+	Update  *bgp.Update
+
+	// Raw holds the undecoded body for record types the package does not
+	// interpret.
+	Raw []byte
+}
+
+// IsUpdate reports whether the record carries a decoded BGP UPDATE.
+func (r *Record) IsUpdate() bool { return r.Update != nil }
+
+// Writer serialises MRT records to an io.Writer.
+type Writer struct {
+	w io.Writer
+	// codec used for the embedded BGP messages (AS4 on for MESSAGE_AS4).
+	codec bgp.Codec
+}
+
+// NewWriter returns a Writer emitting BGP4MP_MESSAGE_AS4 records.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, codec: bgp.Codec{AS4: true}}
+}
+
+// WriteUpdate writes one BGP4MP_MESSAGE_AS4 record containing u as received
+// by the collector from peerAS at ts.
+func (w *Writer) WriteUpdate(ts time.Time, peerAS, localAS bgp.ASN, peerIP, localIP netip.Addr, u *bgp.Update) error {
+	msg, err := w.codec.EncodeMessage(u)
+	if err != nil {
+		return fmt.Errorf("mrt: encoding BGP message: %w", err)
+	}
+	if !peerIP.Is4() || !localIP.Is4() {
+		return ErrBadAFI
+	}
+	body := make([]byte, 0, 20+len(msg))
+	body = binary.BigEndian.AppendUint32(body, uint32(peerAS))
+	body = binary.BigEndian.AppendUint32(body, uint32(localAS))
+	body = binary.BigEndian.AppendUint16(body, 0) // interface index
+	body = binary.BigEndian.AppendUint16(body, AFIIPv4)
+	p4 := peerIP.As4()
+	l4 := localIP.As4()
+	body = append(body, p4[:]...)
+	body = append(body, l4[:]...)
+	body = append(body, msg...)
+
+	hdr := make([]byte, 0, 12)
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(ts.Unix()))
+	hdr = binary.BigEndian.AppendUint16(hdr, TypeBGP4MP)
+	hdr = binary.BigEndian.AppendUint16(hdr, SubtypeMessageAS4)
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(body)))
+	if _, err := w.w.Write(hdr); err != nil {
+		return err
+	}
+	_, err = w.w.Write(body)
+	return err
+}
+
+// Reader decodes MRT records from an io.Reader.
+type Reader struct {
+	r io.Reader
+}
+
+// NewReader returns a Reader over r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Next reads the next record. It returns io.EOF cleanly at end of stream and
+// ErrTruncated if the stream ends mid-record. Records of unknown type are
+// returned with Raw set and Update nil.
+func (r *Reader) Next() (*Record, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, ErrTruncated
+	}
+	rec := &Record{
+		Timestamp: time.Unix(int64(binary.BigEndian.Uint32(hdr[0:4])), 0).UTC(),
+		Type:      binary.BigEndian.Uint16(hdr[4:6]),
+		Subtype:   binary.BigEndian.Uint16(hdr[6:8]),
+	}
+	blen := binary.BigEndian.Uint32(hdr[8:12])
+	if blen > maxBody {
+		return nil, ErrBodyTooLong
+	}
+	body := make([]byte, blen)
+	if _, err := io.ReadFull(r.r, body); err != nil {
+		return nil, ErrTruncated
+	}
+	if rec.Type != TypeBGP4MP && rec.Type != TypeBGP4MPET {
+		rec.Raw = body
+		return rec, nil
+	}
+	if rec.Subtype != SubtypeMessage && rec.Subtype != SubtypeMessageAS4 {
+		rec.Raw = body
+		return rec, nil
+	}
+	if err := r.decodeBGP4MP(rec, body); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+func (r *Reader) decodeBGP4MP(rec *Record, body []byte) error {
+	as4 := rec.Subtype == SubtypeMessageAS4
+	asLen := 2
+	if as4 {
+		asLen = 4
+	}
+	need := 2*asLen + 4
+	if len(body) < need {
+		return ErrTruncated
+	}
+	if as4 {
+		rec.PeerAS = bgp.ASN(binary.BigEndian.Uint32(body[0:4]))
+		rec.LocalAS = bgp.ASN(binary.BigEndian.Uint32(body[4:8]))
+	} else {
+		rec.PeerAS = bgp.ASN(binary.BigEndian.Uint16(body[0:2]))
+		rec.LocalAS = bgp.ASN(binary.BigEndian.Uint16(body[2:4]))
+	}
+	afi := binary.BigEndian.Uint16(body[2*asLen+2 : 2*asLen+4])
+	body = body[need:]
+	var addrLen int
+	switch afi {
+	case AFIIPv4:
+		addrLen = 4
+	case AFIIPv6:
+		addrLen = 16
+	default:
+		return fmt.Errorf("%w: AFI %d", ErrBadAFI, afi)
+	}
+	if len(body) < 2*addrLen {
+		return ErrTruncated
+	}
+	if afi == AFIIPv4 {
+		rec.PeerIP = netip.AddrFrom4([4]byte(body[0:4]))
+		rec.LocalIP = netip.AddrFrom4([4]byte(body[4:8]))
+	} else {
+		rec.PeerIP = netip.AddrFrom16([16]byte(body[0:16]))
+		rec.LocalIP = netip.AddrFrom16([16]byte(body[16:32]))
+	}
+	body = body[2*addrLen:]
+	codec := bgp.Codec{AS4: as4}
+	u, _, err := codec.DecodeMessage(body)
+	if err != nil {
+		if errors.Is(err, bgp.ErrNotUpdate) {
+			// Keepalives etc. inside BGP4MP records: keep raw, no update.
+			rec.Raw = body
+			return nil
+		}
+		return fmt.Errorf("mrt: embedded BGP message: %w", err)
+	}
+	rec.Update = u
+	return nil
+}
+
+// ReadAll drains the reader, returning every record until EOF.
+func ReadAll(r io.Reader) ([]*Record, error) {
+	mr := NewReader(r)
+	var out []*Record
+	for {
+		rec, err := mr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}

@@ -1,0 +1,83 @@
+package router
+
+import (
+	"fmt"
+	"time"
+
+	"because/internal/bgp"
+)
+
+// ResetSession simulates a BGP session reset between a and b, the
+// infrastructure failure the paper's labeling stage absorbs with its
+// ">= 90% of Burst-Break pairs" rule. At the current virtual time both
+// speakers drop every route learned over the session and clear its damping
+// state (RFC 2439 § 4.8.4 — state MUST NOT survive a session reset), run
+// their decision processes (withdrawing or switching paths network-wide),
+// and after downFor the session re-establishes and both sides re-advertise
+// their current best routes.
+//
+// Messages already in flight on the link are delivered anyway — a
+// simplification equivalent to a reset caused by a hold-timer expiry where
+// the TCP stream died silently.
+func (n *Network) ResetSession(a, b bgp.ASN, downFor time.Duration) error {
+	ra, rb := n.routers[a], n.routers[b]
+	if ra == nil || rb == nil {
+		return fmt.Errorf("router: unknown AS in reset %v-%v", a, b)
+	}
+	if _, ok := ra.sessions[b]; !ok {
+		return fmt.Errorf("router: no session %v-%v", a, b)
+	}
+	if downFor < 0 {
+		return fmt.Errorf("router: negative downtime %v", downFor)
+	}
+	n.engine.After(0, func() {
+		ra.dropSessionState(b)
+		rb.dropSessionState(a)
+	})
+	n.engine.After(downFor, func() {
+		ra.readvertiseTo(b)
+		rb.readvertiseTo(a)
+	})
+	return nil
+}
+
+// dropSessionState clears everything learned from or told to neighbor.
+func (r *Router) dropSessionState(neighbor bgp.ASN) {
+	s := r.sessions[neighbor]
+	if s == nil {
+		return
+	}
+	// Forget what we told them; after re-establishment everything is
+	// re-advertised from scratch.
+	s.exported = make(map[bgp.Prefix]*exportState)
+	s.lastSent = make(map[bgp.Prefix]time.Time)
+	s.pending = make(map[bgp.Prefix]bool)
+
+	// Drop their routes and damping state, then re-decide the affected
+	// prefixes.
+	var affected []bgp.Prefix
+	for prefix, routes := range r.adjIn {
+		if entry, ok := routes[neighbor]; ok && (entry.valid || entry.suppressed) {
+			affected = append(affected, prefix)
+		}
+		delete(routes, neighbor)
+		for _, d := range r.dampers {
+			d.Reset(dampKey{neighbor, prefix})
+		}
+	}
+	for _, prefix := range affected {
+		r.runDecision(prefix)
+	}
+}
+
+// readvertiseTo replays the router's Loc-RIB over a freshly established
+// session, as the initial table transfer of a new BGP session does.
+func (r *Router) readvertiseTo(neighbor bgp.ASN) {
+	s := r.sessions[neighbor]
+	if s == nil {
+		return
+	}
+	for prefix, sel := range r.locRib {
+		r.exportToSession(s, prefix, sel)
+	}
+}

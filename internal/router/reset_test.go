@@ -1,0 +1,156 @@
+package router
+
+import (
+	"testing"
+	"time"
+
+	"because/internal/bgp"
+	"because/internal/netsim"
+	"because/internal/rfd"
+	"because/internal/stats"
+)
+
+func TestResetSessionReconverges(t *testing.T) {
+	g := diamondGraph(t) // origin 4 reachable via 2 and 3
+	eng := netsim.NewEngine(t0)
+	net := New(eng, g, fastOpts(), stats.NewRNG(1))
+	if err := net.Originate(4, pfx, 1); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	before, ok := net.Router(5).Best(pfx)
+	if !ok {
+		t.Fatal("no route before reset")
+	}
+
+	// Reset the 1-2 session: AS1 loses the route via 2 and must switch to
+	// the path via 3 until the session comes back.
+	if err := net.ResetSession(1, 2, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(t0.Add(30 * time.Second))
+	during, ok := net.Router(1).Best(pfx)
+	if !ok {
+		t.Fatal("AS1 lost the route entirely during the reset")
+	}
+	if during.Contains(2) {
+		t.Errorf("AS1 still routes via the down session: %v", during)
+	}
+
+	// After re-establishment, the original (shorter tie-break) path wins
+	// again and the vantage path is restored.
+	eng.Run()
+	after, ok := net.Router(5).Best(pfx)
+	if !ok {
+		t.Fatal("no route after reset")
+	}
+	if !after.Equal(before) {
+		t.Errorf("path did not reconverge: before %v, after %v", before, after)
+	}
+}
+
+func TestResetSessionClearsDamping(t *testing.T) {
+	g := chainGraph(t, 3)
+	eng := netsim.NewEngine(t0)
+	opts := fastOpts()
+	opts.RFD = func(asn bgp.ASN) *RFDPolicy {
+		if asn == 2 {
+			return &RFDPolicy{Params: rfd.Cisco}
+		}
+		return nil
+	}
+	net := New(eng, g, opts, stats.NewRNG(1))
+	// Flap until AS2 suppresses the route from AS3; the final event is an
+	// announcement so a route exists to restore after the reset.
+	for i := 0; i < 11; i++ {
+		at := t0.Add(time.Duration(i) * time.Minute)
+		if i%2 == 0 {
+			ts := uint32(at.Unix())
+			eng.At(at, func() {
+				r := net.Router(3)
+				r.originated[pfx] = &bgp.Aggregator{AS: 3, ID: ts}
+				r.runDecision(pfx)
+			})
+		} else {
+			eng.At(at, func() {
+				r := net.Router(3)
+				delete(r.originated, pfx)
+				r.runDecision(pfx)
+			})
+		}
+	}
+	eng.RunUntil(t0.Add(11 * time.Minute))
+	r2 := net.Router(2)
+	entry := r2.adjIn[pfx][3]
+	if entry == nil || !entry.suppressed {
+		t.Fatal("route not suppressed before reset")
+	}
+
+	// Session reset clears the damping state (RFC 2439 § 4.8.4): the
+	// re-advertised route is usable immediately.
+	if err := net.ResetSession(2, 3, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if r2.damperFor(pfx).Suppressed(dampKey{3, pfx}, eng.Now()) {
+		t.Error("damping state survived the reset")
+	}
+	if _, ok := net.Router(1).Best(pfx); !ok {
+		t.Error("route not restored after reset (last origination was an announce)")
+	}
+}
+
+func TestResetSessionValidation(t *testing.T) {
+	g := chainGraph(t, 2)
+	net := New(netsim.NewEngine(t0), g, fastOpts(), stats.NewRNG(1))
+	if err := net.ResetSession(1, 99, time.Second); err == nil {
+		t.Error("unknown AS accepted")
+	}
+	if err := net.ResetSession(99, 1, time.Second); err == nil {
+		t.Error("unknown AS accepted")
+	}
+	// 1 and 2 are adjacent; 1 has no session to itself.
+	if err := net.ResetSession(1, 1, time.Second); err == nil {
+		t.Error("self session accepted")
+	}
+	if err := net.ResetSession(1, 2, -time.Second); err == nil {
+		t.Error("negative downtime accepted")
+	}
+}
+
+func TestResetDuringCampaignAddsLabelingNoise(t *testing.T) {
+	// The monitor-side effect of a reset: extra withdraw/announce churn
+	// that is NOT caused by RFD. The labeling stage must not be fooled
+	// into an RFD label by a single reset (the re-advertisement arrives
+	// immediately, far below the 5-minute r-delta).
+	g := chainGraph(t, 3)
+	eng := netsim.NewEngine(t0)
+	net := New(eng, g, fastOpts(), stats.NewRNG(1))
+	var events []time.Time
+	if err := net.AttachMonitor(1, func(now time.Time, u *bgp.Update) {
+		events = append(events, now)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Originate(3, pfx, 1); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	preReset := len(events)
+	eng.At(t0.Add(time.Hour), func() {
+		if err := net.ResetSession(1, 2, 20*time.Second); err != nil {
+			t.Error(err)
+		}
+	})
+	eng.Run()
+	if len(events) <= preReset {
+		t.Fatal("reset produced no monitor events")
+	}
+	// The withdraw->announce gap equals the session downtime (~20s), far
+	// below the RFD signature threshold.
+	last := events[len(events)-1]
+	prev := events[len(events)-2]
+	if gap := last.Sub(prev); gap > 2*time.Minute {
+		t.Errorf("reset churn gap %v looks like an RFD signature", gap)
+	}
+}

@@ -1,0 +1,704 @@
+// Package router simulates a network of BGP speakers, one per AS, on top of
+// the netsim discrete-event engine. It reproduces the mechanisms the RFD
+// measurement study depends on:
+//
+//   - per-neighbor Adj-RIB-In, a Loc-RIB decision process with
+//     Gao–Rexford local preference (customer > peer > provider), AS-path
+//     length and a deterministic tie-break;
+//   - valley-free export with AS-path prepending and loop suppression,
+//     which makes path hunting emerge naturally after withdrawals;
+//   - the Minimum Route Advertisement Interval (MRAI, RFC 4271 § 9.2.1.1)
+//     with per-session, per-prefix spacing;
+//   - Route Flap Damping (RFC 2439) on the receive side, applied globally
+//     or per neighbor (the heterogeneous configurations of § 2.1 and the
+//     AS 701 case of § 5.1);
+//   - an import-filter hook used by the ROV experiments to drop
+//     RPKI-invalid routes.
+//
+// Monitors attached to a router receive its full-feed exports, which is how
+// the collector package implements vantage points.
+package router
+
+import (
+	"fmt"
+	"time"
+
+	"because/internal/bgp"
+	"because/internal/netsim"
+	"because/internal/rfd"
+	"because/internal/stats"
+	"because/internal/topology"
+)
+
+// Local preference values assigned by relationship, implementing the
+// Gao–Rexford preference: customer routes are the most preferred (they earn
+// money), then peers, then providers.
+const (
+	LocalPrefCustomer = 300
+	LocalPrefPeer     = 200
+	LocalPrefProvider = 100
+)
+
+// RFDPolicy configures damping on one router.
+type RFDPolicy struct {
+	// Params is the RFC 2439 parameter set.
+	Params rfd.Params
+	// DampNeighbor selects the sessions damping applies to; nil means all
+	// sessions. This models operators that damp e.g. only customers, the
+	// heterogeneous deployments the paper highlights.
+	DampNeighbor func(neighbor bgp.ASN, rel topology.Relationship) bool
+	// ParamsFor, when non-nil, overrides Params per prefix — the
+	// prefix-length-dependent configurations § 2.1 reports ("shorter
+	// prefixes were damped more aggressively in one network"). A nil
+	// return falls back to Params.
+	ParamsFor func(prefix bgp.Prefix) *rfd.Params
+}
+
+// paramsFor resolves the parameter set for one prefix.
+func (p *RFDPolicy) paramsFor(prefix bgp.Prefix) rfd.Params {
+	if p.ParamsFor != nil {
+		if o := p.ParamsFor(prefix); o != nil {
+			return *o
+		}
+	}
+	return p.Params
+}
+
+// ImportFilter decides whether owner accepts a route for prefix with the
+// given AS path (false drops it). Used for RPKI route origin validation.
+type ImportFilter func(owner bgp.ASN, prefix bgp.Prefix, path bgp.Path) bool
+
+// MonitorFunc receives updates exported by a router to an attached
+// monitoring session at virtual time now. The update is already a private
+// copy.
+type MonitorFunc func(now time.Time, u *bgp.Update)
+
+// Options configures network construction. Zero-value fields fall back to
+// the defaults described on each field.
+type Options struct {
+	// LinkDelay returns the one-way message delay between adjacent ASes.
+	// Default: deterministic per-link delay drawn uniformly in [20ms, 1s].
+	LinkDelay func(a, b bgp.ASN, rng *stats.RNG) time.Duration
+	// MRAI returns the per-router minimum route advertisement interval.
+	// Default: 30s with probability 0.3 (one vendor's default, § 4.2),
+	// otherwise uniform in [0s, 5s].
+	MRAI func(asn bgp.ASN, rng *stats.RNG) time.Duration
+	// RFD returns the damping policy for a router (nil = damping off).
+	// Default: nil for every router.
+	RFD func(asn bgp.ASN) *RFDPolicy
+	// ImportFilter, when non-nil, can reject routes at import time.
+	ImportFilter ImportFilter
+}
+
+func defaultLinkDelay(a, b bgp.ASN, rng *stats.RNG) time.Duration {
+	return 20*time.Millisecond + time.Duration(rng.Float64()*float64(980*time.Millisecond))
+}
+
+func defaultMRAI(asn bgp.ASN, rng *stats.RNG) time.Duration {
+	if rng.Float64() < 0.3 {
+		return 30 * time.Second
+	}
+	return time.Duration(rng.Float64() * float64(5*time.Second))
+}
+
+// dampKey identifies damping state: per neighbor session, per prefix.
+type dampKey struct {
+	neighbor bgp.ASN
+	prefix   bgp.Prefix
+}
+
+// adjRoute is an Adj-RIB-In entry.
+type adjRoute struct {
+	path       bgp.Path
+	aggregator *bgp.Aggregator
+	valid      bool // currently announced by the neighbor
+	suppressed bool // withheld by RFD
+}
+
+// attrsEqual reports whether two adj-in routes carry the same attributes
+// (the properties that propagate: path and aggregator).
+func (r *adjRoute) attrsEqual(path bgp.Path, agg *bgp.Aggregator) bool {
+	if !r.path.Equal(path) {
+		return false
+	}
+	switch {
+	case r.aggregator == nil && agg == nil:
+		return true
+	case r.aggregator == nil || agg == nil:
+		return false
+	default:
+		return *r.aggregator == *agg
+	}
+}
+
+// selection is a Loc-RIB entry: the winning route for a prefix.
+type selection struct {
+	neighbor   bgp.ASN // 0 for locally originated
+	rel        topology.Relationship
+	path       bgp.Path // as received (no own prepend)
+	aggregator *bgp.Aggregator
+	local      bool
+}
+
+func (s *selection) equal(o *selection) bool {
+	if s == nil || o == nil {
+		return s == o
+	}
+	if s.neighbor != o.neighbor || s.local != o.local || !s.path.Equal(o.path) {
+		return false
+	}
+	switch {
+	case s.aggregator == nil && o.aggregator == nil:
+		return true
+	case s.aggregator == nil || o.aggregator == nil:
+		return false
+	default:
+		return *s.aggregator == *o.aggregator
+	}
+}
+
+// exportState tracks what a router last told one neighbor about one prefix.
+type exportState struct {
+	advertised bool
+	path       bgp.Path
+	aggregator *bgp.Aggregator
+}
+
+// session is one eBGP adjacency from the owning router's perspective.
+type session struct {
+	neighbor bgp.ASN
+	rel      topology.Relationship
+	delay    time.Duration
+
+	// Sending-side MRAI state.
+	lastSent map[bgp.Prefix]time.Time
+	pending  map[bgp.Prefix]bool // a flush event is scheduled for these
+	exported map[bgp.Prefix]*exportState
+
+	damped bool // receive-side damping enabled for this session
+}
+
+// Router is one BGP speaker.
+type Router struct {
+	asn  bgp.ASN
+	tier topology.Tier
+	net  *Network
+
+	sessions map[bgp.ASN]*session
+	order    []bgp.ASN // deterministic session iteration order
+
+	adjIn      map[bgp.Prefix]map[bgp.ASN]*adjRoute
+	locRib     map[bgp.Prefix]*selection
+	originated map[bgp.Prefix]*bgp.Aggregator
+
+	mrai time.Duration
+	// dampers holds one RFC 2439 engine per distinct parameter set in use
+	// (prefix-dependent policies resolve to different sets).
+	dampers map[rfd.Params]*rfd.Damper[dampKey]
+	policy  *RFDPolicy
+
+	monitors []MonitorFunc
+	// monitorExported tracks announce state toward monitors so withdrawals
+	// are only emitted for previously announced prefixes.
+	monitorExported map[bgp.Prefix]bool
+
+	// Counters for introspection.
+	UpdatesReceived uint64
+	UpdatesSent     uint64
+}
+
+// ASN returns the router's AS number.
+func (r *Router) ASN() bgp.ASN { return r.asn }
+
+// MRAI returns the router's configured MRAI.
+func (r *Router) MRAI() time.Duration { return r.mrai }
+
+// Damping reports whether the router runs RFD on any session.
+func (r *Router) Damping() bool { return r.policy != nil }
+
+// damperFor returns (creating on first use) the damping engine whose
+// parameters apply to prefix.
+func (r *Router) damperFor(prefix bgp.Prefix) *rfd.Damper[dampKey] {
+	params := r.policy.paramsFor(prefix)
+	d, ok := r.dampers[params]
+	if !ok {
+		d = rfd.New[dampKey](params)
+		r.dampers[params] = d
+	}
+	return d
+}
+
+// Network is the simulated BGP speaker mesh.
+type Network struct {
+	engine  *netsim.Engine
+	graph   *topology.Graph
+	routers map[bgp.ASN]*Router
+	opts    Options
+}
+
+// New builds a network over graph on engine. Construction draws link
+// delays and MRAI values from rng, so the same seed reproduces the same
+// network.
+func New(engine *netsim.Engine, graph *topology.Graph, opts Options, rng *stats.RNG) *Network {
+	if opts.LinkDelay == nil {
+		opts.LinkDelay = defaultLinkDelay
+	}
+	if opts.MRAI == nil {
+		opts.MRAI = defaultMRAI
+	}
+	n := &Network{
+		engine:  engine,
+		graph:   graph,
+		routers: make(map[bgp.ASN]*Router, graph.Len()),
+		opts:    opts,
+	}
+	for _, asn := range graph.ASNs() {
+		node := graph.AS(asn)
+		r := &Router{
+			asn:             asn,
+			tier:            node.Tier,
+			net:             n,
+			sessions:        make(map[bgp.ASN]*session, len(node.Neighbors)),
+			adjIn:           make(map[bgp.Prefix]map[bgp.ASN]*adjRoute),
+			locRib:          make(map[bgp.Prefix]*selection),
+			originated:      make(map[bgp.Prefix]*bgp.Aggregator),
+			monitorExported: make(map[bgp.Prefix]bool),
+			mrai:            opts.MRAI(asn, rng),
+		}
+		if opts.RFD != nil {
+			if pol := opts.RFD(asn); pol != nil {
+				r.policy = pol
+				r.dampers = make(map[rfd.Params]*rfd.Damper[dampKey])
+			}
+		}
+		n.routers[asn] = r
+	}
+	// Wire sessions; link delay is symmetric and drawn once per link.
+	for _, asn := range graph.ASNs() {
+		node := graph.AS(asn)
+		r := n.routers[asn]
+		for _, nb := range node.Neighbors {
+			if _, done := r.sessions[nb.ASN]; done {
+				continue
+			}
+			if nb.ASN < asn {
+				continue // the lower-ASN endpoint created it already
+			}
+			delay := opts.LinkDelay(asn, nb.ASN, rng)
+			other := n.routers[nb.ASN]
+			r.addSession(nb.ASN, nb.Rel, delay)
+			backRel, _ := graph.AS(nb.ASN).Neighbor(asn)
+			other.addSession(asn, backRel.Rel, delay)
+		}
+	}
+	return n
+}
+
+func (r *Router) addSession(neighbor bgp.ASN, rel topology.Relationship, delay time.Duration) {
+	s := &session{
+		neighbor: neighbor,
+		rel:      rel,
+		delay:    delay,
+		lastSent: make(map[bgp.Prefix]time.Time),
+		pending:  make(map[bgp.Prefix]bool),
+		exported: make(map[bgp.Prefix]*exportState),
+	}
+	if r.policy != nil {
+		if r.policy.DampNeighbor == nil || r.policy.DampNeighbor(neighbor, rel) {
+			s.damped = true
+		}
+	}
+	r.sessions[neighbor] = s
+	// Keep a sorted iteration order (sessions are added in ASN order by
+	// construction, but be explicit about the invariant).
+	i := len(r.order)
+	r.order = append(r.order, neighbor)
+	for i > 0 && r.order[i-1] > neighbor {
+		r.order[i], r.order[i-1] = r.order[i-1], r.order[i]
+		i--
+	}
+}
+
+// Router returns the speaker for asn, or nil.
+func (n *Network) Router(asn bgp.ASN) *Router { return n.routers[asn] }
+
+// Engine returns the simulation engine the network runs on.
+func (n *Network) Engine() *netsim.Engine { return n.engine }
+
+// Graph returns the underlying topology.
+func (n *Network) Graph() *topology.Graph { return n.graph }
+
+// AttachMonitor subscribes fn to the full-feed exports of asn's router, as
+// a route collector session would. It returns an error for unknown ASes.
+func (n *Network) AttachMonitor(asn bgp.ASN, fn MonitorFunc) error {
+	r := n.routers[asn]
+	if r == nil {
+		return fmt.Errorf("router: no such AS %v", asn)
+	}
+	r.monitors = append(r.monitors, fn)
+	return nil
+}
+
+// Originate schedules an announcement of prefix from asn at the current
+// virtual time, with aggregatorTS carried in the transitive AGGREGATOR
+// attribute (the beacon timestamp trick).
+func (n *Network) Originate(asn bgp.ASN, prefix bgp.Prefix, aggregatorTS uint32) error {
+	r := n.routers[asn]
+	if r == nil {
+		return fmt.Errorf("router: no such AS %v", asn)
+	}
+	n.engine.After(0, func() {
+		r.originated[prefix] = &bgp.Aggregator{AS: asn, ID: aggregatorTS}
+		r.runDecision(prefix)
+	})
+	return nil
+}
+
+// WithdrawOrigin schedules a withdrawal of a locally originated prefix.
+func (n *Network) WithdrawOrigin(asn bgp.ASN, prefix bgp.Prefix) error {
+	r := n.routers[asn]
+	if r == nil {
+		return fmt.Errorf("router: no such AS %v", asn)
+	}
+	n.engine.After(0, func() {
+		delete(r.originated, prefix)
+		r.runDecision(prefix)
+	})
+	return nil
+}
+
+// message is the in-flight representation of an UPDATE between two
+// simulated speakers. (Collector sessions serialise to the real wire
+// format; speaker-to-speaker hops stay in memory for speed.)
+type message struct {
+	from       bgp.ASN
+	prefix     bgp.Prefix
+	withdraw   bool
+	path       bgp.Path
+	aggregator *bgp.Aggregator
+}
+
+// receive processes one update message at the current virtual time.
+func (r *Router) receive(m *message) {
+	r.UpdatesReceived++
+	s := r.sessions[m.from]
+	if s == nil {
+		return // session vanished; cannot happen in the static topology
+	}
+	now := r.net.engine.Now()
+	routes := r.adjIn[m.prefix]
+	if routes == nil {
+		routes = make(map[bgp.ASN]*adjRoute)
+		r.adjIn[m.prefix] = routes
+	}
+	entry := routes[m.from]
+
+	if m.withdraw {
+		if entry == nil || !entry.valid {
+			return // withdrawal for a route we do not hold: no-op
+		}
+		entry.valid = false
+		if s.damped {
+			if r.damperFor(m.prefix).Record(dampKey{m.from, m.prefix}, now, rfd.EventWithdraw) && !entry.suppressed {
+				entry.suppressed = true
+				r.scheduleReuse(m.from, m.prefix)
+			}
+		}
+		r.runDecision(m.prefix)
+		return
+	}
+
+	// Announcement. Loop prevention: a path containing our ASN is dropped.
+	if m.path.Contains(r.asn) {
+		return
+	}
+	// Import filter (ROV hook).
+	if f := r.net.opts.ImportFilter; f != nil && !f(r.asn, m.prefix, m.path) {
+		return
+	}
+
+	// Classify the event for damping before overwriting state.
+	var ev rfd.Event
+	havePenalty := false
+	switch {
+	case entry == nil:
+		// Initial advertisement: no penalty (RFC 2439 § 4.4.2).
+	case !entry.valid:
+		ev, havePenalty = rfd.EventReadvertise, true
+	case !entry.attrsEqual(m.path, m.aggregator):
+		ev, havePenalty = rfd.EventAttrChange, true
+	default:
+		// Exact duplicate: no penalty, nothing to do.
+		return
+	}
+
+	if entry == nil {
+		entry = &adjRoute{}
+		routes[m.from] = entry
+	}
+	entry.path = m.path
+	entry.aggregator = m.aggregator
+	entry.valid = true
+
+	if s.damped && havePenalty {
+		if r.damperFor(m.prefix).Record(dampKey{m.from, m.prefix}, now, ev) && !entry.suppressed {
+			entry.suppressed = true
+			r.scheduleReuse(m.from, m.prefix)
+		}
+	}
+	r.runDecision(m.prefix)
+}
+
+// scheduleReuse arms a release check for a suppressed (neighbor, prefix).
+func (r *Router) scheduleReuse(neighbor bgp.ASN, prefix bgp.Prefix) {
+	now := r.net.engine.Now()
+	at, ok := r.damperFor(prefix).ReuseAt(dampKey{neighbor, prefix}, now)
+	if !ok {
+		return
+	}
+	// A small epsilon past the threshold crossing avoids floating-point
+	// equality issues at the exact boundary.
+	r.net.engine.At(at.Add(time.Millisecond), func() { r.reuseCheck(neighbor, prefix) })
+}
+
+// reuseCheck releases a suppressed route if its penalty has decayed below
+// the reuse threshold, or re-arms the timer if more flaps pushed it up.
+func (r *Router) reuseCheck(neighbor bgp.ASN, prefix bgp.Prefix) {
+	routes := r.adjIn[prefix]
+	if routes == nil {
+		return
+	}
+	entry := routes[neighbor]
+	if entry == nil || !entry.suppressed {
+		return
+	}
+	now := r.net.engine.Now()
+	if r.damperFor(prefix).Suppressed(dampKey{neighbor, prefix}, now) {
+		r.scheduleReuse(neighbor, prefix)
+		return
+	}
+	entry.suppressed = false
+	// The delayed re-advertisement: if the released route wins the decision
+	// process it is exported now — minutes after the last beacon event,
+	// which is exactly the r-delta signature of § 4.1.
+	r.runDecision(prefix)
+}
+
+// localPref maps a session relationship to the standard preference tiers.
+func localPref(rel topology.Relationship) int {
+	switch rel {
+	case topology.RelCustomer:
+		return LocalPrefCustomer
+	case topology.RelPeer:
+		return LocalPrefPeer
+	default:
+		return LocalPrefProvider
+	}
+}
+
+// better reports whether candidate beats incumbent in the decision process.
+func better(candidate, incumbent *selection) bool {
+	if incumbent == nil {
+		return true
+	}
+	// Locally originated routes always win.
+	if candidate.local != incumbent.local {
+		return candidate.local
+	}
+	cp, ip := localPref(candidate.rel), localPref(incumbent.rel)
+	if cp != ip {
+		return cp > ip
+	}
+	cl, il := candidate.path.Len(), incumbent.path.Len()
+	if cl != il {
+		return cl < il
+	}
+	return candidate.neighbor < incumbent.neighbor
+}
+
+// runDecision re-runs route selection for prefix and exports any change.
+func (r *Router) runDecision(prefix bgp.Prefix) {
+	var best *selection
+	if agg, ok := r.originated[prefix]; ok {
+		best = &selection{local: true, aggregator: agg}
+	}
+	if routes := r.adjIn[prefix]; routes != nil {
+		// Deterministic iteration: session order.
+		for _, nb := range r.order {
+			entry := routes[nb]
+			if entry == nil || !entry.valid || entry.suppressed {
+				continue
+			}
+			cand := &selection{
+				neighbor:   nb,
+				rel:        r.sessions[nb].rel,
+				path:       entry.path,
+				aggregator: entry.aggregator,
+			}
+			if better(cand, best) {
+				best = cand
+			}
+		}
+	}
+	prev := r.locRib[prefix]
+	if best.equal(prev) {
+		return
+	}
+	if best == nil {
+		delete(r.locRib, prefix)
+	} else {
+		r.locRib[prefix] = best
+	}
+	r.export(prefix, best)
+}
+
+// Best returns the router's current best path for prefix (own ASN
+// prepended, as it would be advertised), or ok=false if unreachable.
+func (r *Router) Best(prefix bgp.Prefix) (bgp.Path, bool) {
+	sel := r.locRib[prefix]
+	if sel == nil {
+		return bgp.Path{}, false
+	}
+	return sel.path.Prepend(r.asn, 1), true
+}
+
+// export sends the new selection (or withdrawal) to every eligible session
+// and to attached monitors.
+func (r *Router) export(prefix bgp.Prefix, best *selection) {
+	for _, nb := range r.order {
+		s := r.sessions[nb]
+		r.exportToSession(s, prefix, best)
+	}
+	r.exportToMonitors(prefix, best)
+}
+
+// exportDecision computes what, if anything, to tell a neighbor.
+func (r *Router) exportDecision(s *session, prefix bgp.Prefix, best *selection) (announce bool, m *message) {
+	if best != nil {
+		fromRel := topology.RelCustomer // originated routes export everywhere
+		if !best.local {
+			fromRel = best.rel
+		}
+		if topology.ShouldExport(fromRel, s.rel) && !best.path.Contains(s.neighbor) && s.neighbor != r.asn {
+			return true, &message{
+				from:       r.asn,
+				prefix:     prefix,
+				path:       best.path.Prepend(r.asn, 1),
+				aggregator: best.aggregator,
+			}
+		}
+	}
+	return false, &message{from: r.asn, prefix: prefix, withdraw: true}
+}
+
+func (r *Router) exportToSession(s *session, prefix bgp.Prefix, best *selection) {
+	announce, m := r.exportDecision(s, prefix, best)
+	st := s.exported[prefix]
+	if !announce {
+		if st == nil || !st.advertised {
+			return // never told them about it; no withdrawal needed
+		}
+	}
+	r.sendWithMRAI(s, prefix, announce, m)
+}
+
+// sendWithMRAI applies per-(session,prefix) MRAI pacing and dispatches the
+// message. Withdrawals are not paced (RFC 4271 applies MRAI to
+// advertisements; withdrawal pacing was removed by common practice).
+func (r *Router) sendWithMRAI(s *session, prefix bgp.Prefix, announce bool, m *message) {
+	now := r.net.engine.Now()
+	if announce && r.mrai > 0 {
+		if last, ok := s.lastSent[prefix]; ok {
+			if wait := r.mrai - now.Sub(last); wait > 0 {
+				// Queue: when the timer fires, re-evaluate the then-current
+				// best route, collapsing intermediate churn (that is MRAI's
+				// entire purpose).
+				if !s.pending[prefix] {
+					s.pending[prefix] = true
+					r.net.engine.After(wait, func() { r.flushPending(s, prefix) })
+				}
+				return
+			}
+		}
+	}
+	r.transmit(s, prefix, announce, m)
+}
+
+// flushPending re-runs the export decision for a prefix whose MRAI timer
+// expired.
+func (r *Router) flushPending(s *session, prefix bgp.Prefix) {
+	if !s.pending[prefix] {
+		return
+	}
+	delete(s.pending, prefix)
+	best := r.locRib[prefix]
+	announce, m := r.exportDecision(s, prefix, best)
+	st := s.exported[prefix]
+	if !announce && (st == nil || !st.advertised) {
+		return
+	}
+	// Suppress no-op announcements (the state we'd send is already there).
+	if announce && st != nil && st.advertised && st.path.Equal(m.path) && aggEqual(st.aggregator, m.aggregator) {
+		return
+	}
+	r.transmit(s, prefix, announce, m)
+}
+
+func aggEqual(a, b *bgp.Aggregator) bool {
+	switch {
+	case a == nil && b == nil:
+		return true
+	case a == nil || b == nil:
+		return false
+	default:
+		return *a == *b
+	}
+}
+
+// transmit delivers the message to the neighbor after the link delay and
+// records export state.
+func (r *Router) transmit(s *session, prefix bgp.Prefix, announce bool, m *message) {
+	now := r.net.engine.Now()
+	st := s.exported[prefix]
+	if st == nil {
+		st = &exportState{}
+		s.exported[prefix] = st
+	}
+	st.advertised = announce
+	if announce {
+		st.path = m.path
+		st.aggregator = m.aggregator
+		s.lastSent[prefix] = now
+	}
+	r.UpdatesSent++
+	peer := r.net.routers[s.neighbor]
+	r.net.engine.After(s.delay, func() { peer.receive(m) })
+}
+
+// exportToMonitors mirrors the update to monitoring sessions (full feed,
+// no policy, no MRAI — collectors see everything the router decides).
+func (r *Router) exportToMonitors(prefix bgp.Prefix, best *selection) {
+	if len(r.monitors) == 0 {
+		return
+	}
+	now := r.net.engine.Now()
+	var u *bgp.Update
+	if best == nil {
+		if !r.monitorExported[prefix] {
+			return
+		}
+		r.monitorExported[prefix] = false
+		u = &bgp.Update{Withdrawn: []bgp.Prefix{prefix}}
+	} else {
+		r.monitorExported[prefix] = true
+		u = &bgp.Update{
+			Origin:     bgp.OriginIGP,
+			ASPath:     best.path.Prepend(r.asn, 1),
+			NLRI:       []bgp.Prefix{prefix},
+			Aggregator: best.aggregator,
+		}
+	}
+	for _, fn := range r.monitors {
+		fn(now, u.Clone())
+	}
+}

@@ -1,0 +1,107 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"because/internal/stats"
+)
+
+func TestCAIDARoundTrip(t *testing.T) {
+	cfg := DefaultGen()
+	cfg.Transit, cfg.Stubs = 30, 60
+	g, err := Generate(cfg, stats.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteCAIDA(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCAIDA(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != g.Len() || back.Links() != g.Links() {
+		t.Fatalf("round trip: %d/%d ASes, %d/%d links",
+			back.Len(), g.Len(), back.Links(), g.Links())
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, asn := range g.ASNs() {
+		a, b := g.AS(asn), back.AS(asn)
+		if b == nil {
+			t.Fatalf("%v missing after round trip", asn)
+		}
+		if len(a.Neighbors) != len(b.Neighbors) {
+			t.Fatalf("%v degree %d != %d", asn, len(a.Neighbors), len(b.Neighbors))
+		}
+		for i := range a.Neighbors {
+			if a.Neighbors[i] != b.Neighbors[i] {
+				t.Fatalf("%v adjacency differs: %+v vs %+v", asn, a.Neighbors[i], b.Neighbors[i])
+			}
+		}
+		// Tier inference matches wherever the structure determines it; a
+		// transit that happened to attract no customers is structurally a
+		// stub and legitimately inferred as one.
+		if a.Tier != b.Tier && !(a.Tier == TierTransit && len(a.Customers()) == 0) {
+			t.Errorf("%v tier %v inferred as %v", asn, a.Tier, b.Tier)
+		}
+	}
+}
+
+func TestReadCAIDAHandWritten(t *testing.T) {
+	input := `# test file
+1|2|-1
+1|3|-1
+2|3|0
+2|4|-1
+3|5|-1
+`
+	g, err := ReadCAIDA(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 5 || g.Links() != 5 {
+		t.Fatalf("Len=%d Links=%d", g.Len(), g.Links())
+	}
+	if g.AS(1).Tier != TierOne {
+		t.Errorf("AS1 tier = %v", g.AS(1).Tier)
+	}
+	if g.AS(2).Tier != TierTransit || g.AS(3).Tier != TierTransit {
+		t.Error("transit tiers wrong")
+	}
+	if g.AS(4).Tier != TierStub || g.AS(5).Tier != TierStub {
+		t.Error("stub tiers wrong")
+	}
+	n, ok := g.AS(2).Neighbor(3)
+	if !ok || n.Rel != RelPeer {
+		t.Errorf("2-3 = %+v", n)
+	}
+	n, ok = g.AS(4).Neighbor(2)
+	if !ok || n.Rel != RelProvider {
+		t.Errorf("4-2 = %+v", n)
+	}
+}
+
+func TestReadCAIDAErrors(t *testing.T) {
+	bad := []string{
+		"1|2",           // too few fields
+		"x|2|-1",        // bad ASN
+		"1|y|0",         // bad ASN
+		"1|2|7",         // bad relationship
+		"1|2|-1\n1|2|0", // duplicate link
+	}
+	for _, input := range bad {
+		if _, err := ReadCAIDA(strings.NewReader(input)); err == nil {
+			t.Errorf("accepted %q", input)
+		}
+	}
+	// Empty input: empty graph, no error.
+	g, err := ReadCAIDA(strings.NewReader("# nothing\n"))
+	if err != nil || g.Len() != 0 {
+		t.Errorf("empty file: %v len=%d", err, g.Len())
+	}
+}

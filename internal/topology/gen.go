@@ -1,0 +1,188 @@
+package topology
+
+import (
+	"fmt"
+
+	"because/internal/bgp"
+	"because/internal/stats"
+)
+
+// GenConfig parameterises the synthetic Internet generator. DefaultGen
+// produces a mid-size hierarchy suitable for the experiment harness; tests
+// use smaller instances.
+type GenConfig struct {
+	// Tier1 is the size of the fully meshed Tier-1 clique.
+	Tier1 int
+	// Transit is the number of mid-hierarchy transit providers.
+	Transit int
+	// Stubs is the number of edge (origin-only) ASes.
+	Stubs int
+
+	// TransitMaxProviders bounds the providers of each transit AS
+	// (at least 1; multihoming drawn uniformly in [1, max]).
+	TransitMaxProviders int
+	// TransitPeerDegree is the expected number of lateral peering links a
+	// transit AS establishes with other transits.
+	TransitPeerDegree float64
+	// StubMaxProviders bounds stub multihoming (at least 1).
+	StubMaxProviders int
+
+	// BaseASN is the first AS number assigned.
+	BaseASN bgp.ASN
+}
+
+// DefaultGen returns the generator configuration used by the paper-scale
+// experiments: the proportions echo the measured Internet's shape at a
+// scale a laptop simulates in seconds.
+func DefaultGen() GenConfig {
+	return GenConfig{
+		Tier1:               8,
+		Transit:             150,
+		Stubs:               450,
+		TransitMaxProviders: 3,
+		TransitPeerDegree:   1.5,
+		StubMaxProviders:    2,
+		BaseASN:             10000,
+	}
+}
+
+func (c GenConfig) validate() error {
+	switch {
+	case c.Tier1 < 1:
+		return fmt.Errorf("topology: need at least one tier-1, got %d", c.Tier1)
+	case c.Transit < 0 || c.Stubs < 0:
+		return fmt.Errorf("topology: negative population")
+	case c.TransitMaxProviders < 1 && c.Transit > 0:
+		return fmt.Errorf("topology: TransitMaxProviders must be >= 1")
+	case c.StubMaxProviders < 1 && c.Stubs > 0:
+		return fmt.Errorf("topology: StubMaxProviders must be >= 1")
+	case c.TransitPeerDegree < 0:
+		return fmt.Errorf("topology: negative TransitPeerDegree")
+	case c.BaseASN == 0:
+		return fmt.Errorf("topology: BaseASN must be non-zero")
+	}
+	return nil
+}
+
+// Generate builds a synthetic Internet-like topology: a Tier-1 clique,
+// transit ASes that multihome into the layers above them with
+// degree-preferential attachment (producing the heavy-tailed customer-cone
+// distribution of the real Internet), lateral transit peering, and stub
+// ASes hanging off the transit edge.
+func Generate(cfg GenConfig, rng *stats.RNG) (*Graph, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g := NewGraph()
+	next := cfg.BaseASN
+
+	tier1 := make([]bgp.ASN, 0, cfg.Tier1)
+	for i := 0; i < cfg.Tier1; i++ {
+		if err := g.AddAS(next, TierOne); err != nil {
+			return nil, err
+		}
+		tier1 = append(tier1, next)
+		next++
+	}
+	// Full Tier-1 peering mesh.
+	for i := 0; i < len(tier1); i++ {
+		for j := i + 1; j < len(tier1); j++ {
+			if err := g.AddLink(tier1[i], tier1[j], RelPeer); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Transit layer with preferential attachment: the probability of
+	// picking a provider is proportional to 1 + its current customer count,
+	// seeding the heavy tail.
+	transits := make([]bgp.ASN, 0, cfg.Transit)
+	pickProvider := func(pool []bgp.ASN, exclude map[bgp.ASN]bool) (bgp.ASN, bool) {
+		total := 0
+		for _, a := range pool {
+			if exclude[a] {
+				continue
+			}
+			total += 1 + len(g.AS(a).Customers())
+		}
+		if total == 0 {
+			return 0, false
+		}
+		target := rng.Intn(total)
+		for _, a := range pool {
+			if exclude[a] {
+				continue
+			}
+			target -= 1 + len(g.AS(a).Customers())
+			if target < 0 {
+				return a, true
+			}
+		}
+		return 0, false
+	}
+
+	for i := 0; i < cfg.Transit; i++ {
+		asn := next
+		next++
+		if err := g.AddAS(asn, TierTransit); err != nil {
+			return nil, err
+		}
+		pool := append(append([]bgp.ASN(nil), tier1...), transits...)
+		nProviders := 1 + rng.Intn(cfg.TransitMaxProviders)
+		chosen := make(map[bgp.ASN]bool)
+		for p := 0; p < nProviders; p++ {
+			prov, ok := pickProvider(pool, chosen)
+			if !ok {
+				break
+			}
+			chosen[prov] = true
+			if err := g.AddLink(prov, asn, RelCustomer); err != nil {
+				return nil, err
+			}
+		}
+		transits = append(transits, asn)
+	}
+
+	// Lateral transit peering: expected TransitPeerDegree links per transit.
+	if len(transits) > 1 && cfg.TransitPeerDegree > 0 {
+		prob := cfg.TransitPeerDegree / float64(len(transits)-1)
+		if prob > 1 {
+			prob = 1
+		}
+		for i := 0; i < len(transits); i++ {
+			for j := i + 1; j < len(transits); j++ {
+				if rng.Float64() < prob {
+					a, b := transits[i], transits[j]
+					if _, dup := g.AS(a).Neighbor(b); !dup {
+						if err := g.AddLink(a, b, RelPeer); err != nil {
+							return nil, err
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Stubs multihome into the transit layer (and occasionally a Tier-1).
+	providerPool := append(append([]bgp.ASN(nil), transits...), tier1...)
+	for i := 0; i < cfg.Stubs; i++ {
+		asn := next
+		next++
+		if err := g.AddAS(asn, TierStub); err != nil {
+			return nil, err
+		}
+		nProviders := 1 + rng.Intn(cfg.StubMaxProviders)
+		chosen := make(map[bgp.ASN]bool)
+		for p := 0; p < nProviders; p++ {
+			prov, ok := pickProvider(providerPool, chosen)
+			if !ok {
+				break
+			}
+			chosen[prov] = true
+			if err := g.AddLink(prov, asn, RelCustomer); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,179 @@
+package topology
+
+import (
+	"testing"
+
+	"because/internal/bgp"
+	"because/internal/stats"
+)
+
+func TestGenerateDefaultValidates(t *testing.T) {
+	g, err := Generate(DefaultGen(), stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultGen()
+	if g.Len() != cfg.Tier1+cfg.Transit+cfg.Stubs {
+		t.Errorf("Len = %d", g.Len())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultGen()
+	cfg.Transit, cfg.Stubs = 40, 80
+	a, err := Generate(cfg, stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg, stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Links() != b.Links() {
+		t.Fatalf("same seed produced %d vs %d links", a.Links(), b.Links())
+	}
+	for _, asn := range a.ASNs() {
+		na, nb := a.AS(asn), b.AS(asn)
+		if len(na.Neighbors) != len(nb.Neighbors) {
+			t.Fatalf("%v degree differs", asn)
+		}
+		for i := range na.Neighbors {
+			if na.Neighbors[i] != nb.Neighbors[i] {
+				t.Fatalf("%v adjacency differs at %d", asn, i)
+			}
+		}
+	}
+}
+
+func TestGenerateTierOneClique(t *testing.T) {
+	cfg := DefaultGen()
+	cfg.Transit, cfg.Stubs = 10, 10
+	g, err := Generate(cfg, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tier1 []bgp.ASN
+	for _, asn := range g.ASNs() {
+		if g.AS(asn).Tier == TierOne {
+			tier1 = append(tier1, asn)
+		}
+	}
+	if len(tier1) != cfg.Tier1 {
+		t.Fatalf("tier1 count = %d", len(tier1))
+	}
+	for i := range tier1 {
+		for j := range tier1 {
+			if i == j {
+				continue
+			}
+			n, ok := g.AS(tier1[i]).Neighbor(tier1[j])
+			if !ok || n.Rel != RelPeer {
+				t.Fatalf("tier1 %v-%v not peered", tier1[i], tier1[j])
+			}
+		}
+	}
+}
+
+func TestGenerateEveryASReachesTier1(t *testing.T) {
+	// Every non-tier-1 AS must have at least one provider chain to the
+	// clique, otherwise parts of the topology are unroutable.
+	cfg := DefaultGen()
+	cfg.Transit, cfg.Stubs = 60, 120
+	g, err := Generate(cfg, stats.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, asn := range g.ASNs() {
+		node := g.AS(asn)
+		if node.Tier == TierOne {
+			continue
+		}
+		// Climb providers until a tier-1 is reached.
+		seen := map[bgp.ASN]bool{}
+		stack := []bgp.ASN{asn}
+		found := false
+		for len(stack) > 0 && !found {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[cur] {
+				continue
+			}
+			seen[cur] = true
+			if g.AS(cur).Tier == TierOne {
+				found = true
+				break
+			}
+			stack = append(stack, g.AS(cur).Providers()...)
+		}
+		if !found {
+			t.Fatalf("%v cannot reach tier-1 via providers", asn)
+		}
+	}
+}
+
+func TestGenerateStubsAreStubs(t *testing.T) {
+	cfg := DefaultGen()
+	cfg.Transit, cfg.Stubs = 30, 100
+	g, err := Generate(cfg, stats.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, asn := range g.ASNs() {
+		node := g.AS(asn)
+		if node.Tier != TierStub {
+			continue
+		}
+		if len(node.Customers()) != 0 {
+			t.Fatalf("stub %v has customers", asn)
+		}
+		np := len(node.Providers())
+		if np < 1 || np > cfg.StubMaxProviders {
+			t.Fatalf("stub %v has %d providers", asn, np)
+		}
+	}
+}
+
+func TestGenerateHeavyTail(t *testing.T) {
+	// Preferential attachment should concentrate customers: the largest
+	// cone must be several times the median cone among transits.
+	g, err := Generate(DefaultGen(), stats.NewRNG(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cones []int
+	for _, asn := range g.ASNs() {
+		if g.AS(asn).Tier == TierTransit {
+			cones = append(cones, len(g.CustomerCone(asn)))
+		}
+	}
+	maxCone, sum := 0, 0
+	for _, c := range cones {
+		if c > maxCone {
+			maxCone = c
+		}
+		sum += c
+	}
+	mean := float64(sum) / float64(len(cones))
+	if float64(maxCone) < 3*mean {
+		t.Errorf("no heavy tail: max cone %d vs mean %.1f", maxCone, mean)
+	}
+}
+
+func TestGenerateConfigValidation(t *testing.T) {
+	bad := []GenConfig{
+		{},
+		{Tier1: 1, Transit: 5, BaseASN: 1},  // TransitMaxProviders 0
+		{Tier1: 1, Stubs: 5, BaseASN: 1},    // StubMaxProviders 0
+		{Tier1: 1, BaseASN: 0},              // zero base
+		{Tier1: 1, Transit: -1, BaseASN: 1}, // negative
+		{Tier1: 1, Transit: 1, TransitMaxProviders: 1, TransitPeerDegree: -1, BaseASN: 1}, // negative peering
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg, stats.NewRNG(1)); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}

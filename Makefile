@@ -1,0 +1,33 @@
+# BeCAUSe build targets. The module has no dependencies beyond the Go
+# standard library, so every target is just the toolchain.
+
+GO ?= go
+
+.PHONY: all build test tier1 vet race verify bench clean
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# tier1 is the repository's baseline health check (see ROADMAP.md).
+tier1: build test
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify is the pre-merge gate: static analysis, the race detector and the
+# plain test suite.
+verify: vet race tier1
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+clean:
+	$(GO) clean ./...

@@ -43,6 +43,7 @@ import (
 
 	"because/internal/bgp"
 	"because/internal/core"
+	"because/internal/obs"
 )
 
 // ASN is an autonomous system number.
@@ -109,6 +110,21 @@ type Options struct {
 	// negative with this probability. Use it when the labeling stage is
 	// known to lose signatures.
 	MissRate float64
+
+	// Obs attaches an observability context — metrics registry plus
+	// structured logger — threaded through every inference stage. The
+	// type lives in internal/obs, so it is settable by this module's own
+	// tools (cmd/becausectl and friends); nil (the default) is a no-op
+	// whose cost is a pointer check per sweep.
+	Obs *obs.Observer
+	// Progress, when non-nil, receives sampler progress every
+	// ProgressEvery sweeps and at each sampler's completion: stage is
+	// "mh" or "hmc", chain the chain index, done/total count sweeps
+	// (burn-in included), acceptance the running acceptance rate. Called
+	// synchronously from the sampling loop; keep it fast.
+	Progress func(stage string, chain, done, total int, acceptance float64)
+	// ProgressEvery is the progress cadence in sweeps (default 100).
+	ProgressEvery int
 }
 
 // Category is the five-level certainty scale of the paper's Table 1.
@@ -183,6 +199,10 @@ type Result struct {
 	// MHAcceptance and HMCAcceptance are the samplers' Metropolis
 	// acceptance rates (0 when a sampler was disabled).
 	MHAcceptance, HMCAcceptance float64
+	// HMCDivergences counts trajectories whose Hamiltonian error blew up
+	// (divergent transitions). More than a few percent of iterations
+	// means the HMC step size is too large for the posterior geometry.
+	HMCDivergences int
 
 	byAS map[ASN]*ASReport
 }
@@ -227,12 +247,12 @@ func (r *Result) CategoryCounts() [6]int {
 }
 
 // Infer runs the BeCAUSe pipeline over the observations.
-func Infer(obs []PathObservation, opts Options) (*Result, error) {
-	if len(obs) == 0 {
+func Infer(observations []PathObservation, opts Options) (*Result, error) {
+	if len(observations) == 0 {
 		return nil, fmt.Errorf("because: no observations")
 	}
-	coreObs := make([]core.PathObs, 0, len(obs))
-	for _, o := range obs {
+	coreObs := make([]core.PathObs, 0, len(observations))
+	for _, o := range observations {
 		asns := make([]bgp.ASN, len(o.Path))
 		for i, a := range o.Path {
 			asns[i] = bgp.ASN(a)
@@ -253,6 +273,14 @@ func Infer(obs []PathObservation, opts Options) (*Result, error) {
 		DisableHMC:        opts.DisableHMC,
 		MH:                core.MHConfig{Sweeps: opts.MHSweeps, BurnIn: opts.MHBurnIn},
 		HMC:               core.HMCConfig{Iterations: opts.HMCIterations, BurnIn: opts.HMCBurnIn},
+		Obs:               opts.Obs,
+		ProgressEvery:     opts.ProgressEvery,
+	}
+	if opts.Progress != nil {
+		report := opts.Progress
+		cfg.Progress = func(p obs.Progress) {
+			report(p.Stage, p.Chain, p.Done, p.Total, p.AcceptanceRate())
+		}
 	}
 	if opts.Prior != (Prior{}) {
 		cfg.Prior = core.Prior{Alpha: opts.Prior.Alpha, Beta: opts.Prior.Beta}
@@ -286,6 +314,7 @@ func Infer(obs []PathObservation, opts Options) (*Result, error) {
 			out.MHAcceptance = c.AcceptanceRate()
 		case "hmc":
 			out.HMCAcceptance = c.AcceptanceRate()
+			out.HMCDivergences = c.Divergent
 		}
 	}
 	return out, nil

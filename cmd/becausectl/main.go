@@ -11,8 +11,16 @@
 //
 //	becausectl [-in paths.json] [-seed 0] [-prior sparse|uniform|centered]
 //	           [-flagged-only] [-mh-sweeps N] [-hmc-iters N]
+//	           [-chains N] [-miss-rate P]
+//	           [-metrics-addr :8080] [-log-level info] [-progress]
 //
 // With no -in, the dataset is read from standard input.
+//
+// Observability: -metrics-addr serves Prometheus metrics on /metrics (and
+// pprof on /debug/pprof/) for the duration of the run; -log-level enables
+// structured logs on stderr (debug, info, warn, error; default off);
+// -progress renders live sampler progress lines on stderr. -chains 2 or
+// more adds a per-AS Gelman-Rubin R-hat column to the table.
 package main
 
 import (
@@ -21,9 +29,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"because"
+	"because/internal/obs"
 )
 
 type record struct {
@@ -32,26 +42,77 @@ type record struct {
 	Weight   float64       `json:"weight,omitempty"`
 }
 
+// options collects every CLI flag.
+type options struct {
+	in          string
+	seed        uint64
+	prior       string
+	flaggedOnly bool
+	jsonOut     bool
+	mhSweeps    int
+	hmcIters    int
+	chains      int
+	missRate    float64
+	progress    bool
+	metricsAddr string
+	logLevel    string
+}
+
 func main() {
-	in := flag.String("in", "", "input JSON file (default: stdin)")
-	seed := flag.Uint64("seed", 0, "inference seed")
-	prior := flag.String("prior", "sparse", "prior: sparse, uniform or centered")
-	flaggedOnly := flag.Bool("flagged-only", false, "print only category 4/5 ASes")
-	jsonOut := flag.Bool("json", false, "emit the reports as JSON instead of a table")
-	mhSweeps := flag.Int("mh-sweeps", 0, "Metropolis-Hastings sweeps (0 = default)")
-	hmcIters := flag.Int("hmc-iters", 0, "HMC iterations (0 = default)")
+	var o options
+	flag.StringVar(&o.in, "in", "", "input JSON file (default: stdin)")
+	flag.Uint64Var(&o.seed, "seed", 0, "inference seed")
+	flag.StringVar(&o.prior, "prior", "sparse", "prior: sparse, uniform or centered")
+	flag.BoolVar(&o.flaggedOnly, "flagged-only", false, "print only category 4/5 ASes")
+	flag.BoolVar(&o.jsonOut, "json", false, "emit the reports as JSON instead of a table")
+	flag.IntVar(&o.mhSweeps, "mh-sweeps", 0, "Metropolis-Hastings sweeps (0 = default)")
+	flag.IntVar(&o.hmcIters, "hmc-iters", 0, "HMC iterations (0 = default)")
+	flag.IntVar(&o.chains, "chains", 1, "independent MH chains; 2+ adds R-hat diagnostics")
+	flag.Float64Var(&o.missRate, "miss-rate", 0, "measurement-error rate for the § 7.2 likelihood (0 = off)")
+	flag.BoolVar(&o.progress, "progress", false, "render live sampler progress on stderr")
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve Prometheus /metrics and pprof on this address (e.g. :8080)")
+	flag.StringVar(&o.logLevel, "log-level", "", "structured log level on stderr: debug, info, warn, error (default: off)")
 	flag.Parse()
 
-	if err := run(*in, *seed, *prior, *flaggedOnly, *jsonOut, *mhSweeps, *hmcIters); err != nil {
+	observer, err := newObserver(o.logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "becausectl:", err)
+		os.Exit(2)
+	}
+	if o.metricsAddr != "" {
+		srv, err := obs.Serve(o.metricsAddr, observer.Metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "becausectl:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "becausectl: metrics on %s/metrics\n", srv.URL())
+	}
+	if err := run(o, observer, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "becausectl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in string, seed uint64, priorName string, flaggedOnly, jsonOut bool, mhSweeps, hmcIters int) error {
+// newObserver builds the CLI's observability context: a registry always
+// (it only costs when scraped) and a stderr text logger when level names
+// one ("" keeps logging off).
+func newObserver(level string) (*obs.Observer, error) {
+	logger := obs.Nop()
+	if level != "" {
+		min, err := obs.ParseLevel(level)
+		if err != nil {
+			return nil, err
+		}
+		logger = obs.NewTextLogger(os.Stderr, min)
+	}
+	return obs.New(logger, obs.NewRegistry()), nil
+}
+
+func run(o options, observer *obs.Observer, stdout io.Writer) error {
 	var r io.Reader = os.Stdin
-	if in != "" {
-		f, err := os.Open(in)
+	if o.in != "" {
+		f, err := os.Open(o.in)
 		if err != nil {
 			return err
 		}
@@ -66,8 +127,14 @@ func run(in string, seed uint64, priorName string, flaggedOnly, jsonOut bool, mh
 		return fmt.Errorf("no observations in input")
 	}
 
-	opts := because.Options{Seed: seed, MHSweeps: mhSweeps, HMCIterations: hmcIters}
-	switch priorName {
+	opts := because.Options{
+		Seed:     o.seed,
+		MHSweeps: o.mhSweeps, HMCIterations: o.hmcIters,
+		Chains:   o.chains,
+		MissRate: o.missRate,
+		Obs:      observer,
+	}
+	switch o.prior {
 	case "sparse":
 		opts.Prior = because.PriorSparse
 	case "uniform":
@@ -75,45 +142,68 @@ func run(in string, seed uint64, priorName string, flaggedOnly, jsonOut bool, mh
 	case "centered":
 		opts.Prior = because.PriorCentered
 	default:
-		return fmt.Errorf("unknown prior %q", priorName)
+		return fmt.Errorf("unknown prior %q", o.prior)
+	}
+	if o.progress {
+		opts.Progress = func(stage string, chain, done, total int, acceptance float64) {
+			fmt.Fprintf(os.Stderr, "becausectl: %s chain %d: %d/%d sweeps, acceptance %.2f\n",
+				stage, chain, done, total, acceptance)
+		}
 	}
 
-	obs := make([]because.PathObservation, len(records))
+	obsIn := make([]because.PathObservation, len(records))
 	for i, rec := range records {
-		obs[i] = because.PathObservation{Path: rec.Path, ShowsProperty: rec.Positive, Weight: rec.Weight}
+		obsIn[i] = because.PathObservation{Path: rec.Path, ShowsProperty: rec.Positive, Weight: rec.Weight}
 	}
-	res, err := because.Infer(obs, opts)
+	res, err := because.Infer(obsIn, opts)
 	if err != nil {
 		return err
 	}
 
 	reports := res.Reports
-	if flaggedOnly {
+	if o.flaggedOnly {
 		reports = res.Flagged()
 	}
-	if jsonOut {
+	if o.jsonOut {
 		if reports == nil {
 			reports = []because.ASReport{}
 		}
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(reports)
 	}
 
-	fmt.Printf("observations: %d paths, %d ASes; MH acceptance %.2f, HMC acceptance %.2f\n",
-		len(obs), len(res.Reports), res.MHAcceptance, res.HMCAcceptance)
-	fmt.Println("AS          mean   95% HDPI        certainty  cat  paths(+/-)")
+	fmt.Fprintf(stdout, "observations: %d paths, %d ASes; MH acceptance %.2f, HMC acceptance %.2f",
+		len(obsIn), len(res.Reports), res.MHAcceptance, res.HMCAcceptance)
+	if res.HMCDivergences > 0 {
+		fmt.Fprintf(stdout, " (%d divergences)", res.HMCDivergences)
+	}
+	fmt.Fprintln(stdout)
+	rhatCol := o.chains >= 2
+	header := "AS          mean   95% HDPI        certainty  cat  paths(+/-)"
+	if rhatCol {
+		header += "  rhat"
+	}
+	fmt.Fprintln(stdout, header)
 	for _, rep := range reports {
 		pin := ""
 		if rep.Pinpointed {
 			pin = "  (pinpointed)"
 		}
-		fmt.Printf("%-10d %5.2f  [%4.2f, %4.2f]    %5.2f     %d    %d/%d%s\n",
+		fmt.Fprintf(stdout, "%-10d %5.2f  [%4.2f, %4.2f]    %5.2f     %d    %d/%d",
 			rep.AS, rep.Mean, rep.CredibleLow, rep.CredibleHigh,
-			rep.Certainty, rep.Category, rep.PositivePaths, rep.NegativePaths, pin)
+			rep.Certainty, rep.Category, rep.PositivePaths, rep.NegativePaths)
+		if rhatCol {
+			if math.IsNaN(rep.RHat) {
+				fmt.Fprintf(stdout, "     -")
+			} else {
+				fmt.Fprintf(stdout, "  %4.2f", rep.RHat)
+			}
+		}
+		fmt.Fprintln(stdout, pin)
 	}
 	counts := res.CategoryCounts()
-	fmt.Printf("categories: 1=%d 2=%d 3=%d 4=%d 5=%d; flagged: %d\n",
+	fmt.Fprintf(stdout, "categories: 1=%d 2=%d 3=%d 4=%d 5=%d; flagged: %d\n",
 		counts[1], counts[2], counts[3], counts[4], counts[5], len(res.Flagged()))
 	return nil
 }

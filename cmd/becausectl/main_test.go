@@ -2,9 +2,14 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"because/internal/obs"
 )
 
 func TestDecodeArrayAndNDJSON(t *testing.T) {
@@ -33,9 +38,10 @@ func TestDecodeArrayAndNDJSON(t *testing.T) {
 	}
 }
 
-func TestRunEndToEnd(t *testing.T) {
-	dir := t.TempDir()
-	in := filepath.Join(dir, "paths.json")
+// writeQuickstart writes the quickstart-style dataset (AS 7 damps).
+func writeQuickstart(t *testing.T) string {
+	t.Helper()
+	in := filepath.Join(t.TempDir(), "paths.json")
 	data := `[
 	  {"path":[1,7,3],"positive":true},
 	  {"path":[2,7,4],"positive":true},
@@ -47,22 +53,95 @@ func TestRunEndToEnd(t *testing.T) {
 	if err := os.WriteFile(in, []byte(data), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	return in
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	in := writeQuickstart(t)
+	base := options{in: in, seed: 1, prior: "sparse", mhSweeps: 300, hmcIters: 100, chains: 1}
 	for _, jsonOut := range []bool{false, true} {
-		if err := run(in, 1, "sparse", false, jsonOut, 300, 100); err != nil {
+		o := base
+		o.jsonOut = jsonOut
+		if err := run(o, nil, io.Discard); err != nil {
 			t.Fatalf("run(json=%v): %v", jsonOut, err)
 		}
 	}
-	if err := run(in, 1, "nonsense", false, false, 100, 50); err == nil {
+	o := base
+	o.prior = "nonsense"
+	if err := run(o, nil, io.Discard); err == nil {
 		t.Error("unknown prior accepted")
 	}
-	if err := run(filepath.Join(dir, "missing.json"), 1, "sparse", false, false, 0, 0); err == nil {
+	o = base
+	o.in = filepath.Join(t.TempDir(), "missing.json")
+	if err := run(o, nil, io.Discard); err == nil {
 		t.Error("missing file accepted")
 	}
-	empty := filepath.Join(dir, "empty.json")
+	empty := filepath.Join(t.TempDir(), "empty.json")
 	if err := os.WriteFile(empty, []byte("[]"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(empty, 1, "sparse", false, false, 0, 0); err == nil {
+	o = base
+	o.in = empty
+	if err := run(o, nil, io.Discard); err == nil {
 		t.Error("empty dataset accepted")
+	}
+}
+
+// TestRunChainsRHatColumn exercises the -chains satellite: multi-chain runs
+// must reach the core R-hat diagnostics and render the extra column.
+func TestRunChainsRHatColumn(t *testing.T) {
+	in := writeQuickstart(t)
+	var out bytes.Buffer
+	o := options{in: in, seed: 1, prior: "sparse", mhSweeps: 300, hmcIters: 100, chains: 3, missRate: 0.05}
+	if err := run(o, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "rhat") {
+		t.Errorf("no rhat column with -chains 3:\n%s", out.String())
+	}
+}
+
+// TestMetricsEndpoint is the acceptance check: a run with an observer
+// serves a Prometheus /metrics page carrying sampler acceptance-rate and
+// sweep-counter series.
+func TestMetricsEndpoint(t *testing.T) {
+	in := writeQuickstart(t)
+	observer, err := newObserver("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := obs.Serve("127.0.0.1:0", observer.Metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	o := options{in: in, seed: 1, prior: "sparse", mhSweeps: 300, hmcIters: 100, chains: 2}
+	if err := run(o, observer, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srv.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := string(body)
+	for _, want := range []string{
+		`because_sampler_acceptance_rate{chain="0",method="mh"}`,
+		`because_sampler_acceptance_rate{chain="1",method="mh"}`,
+		`because_sampler_acceptance_rate{chain="0",method="hmc"}`,
+		`because_sampler_sweeps_total{chain="0",method="mh"} 375`,
+		`because_infer_runs_total 1`,
+		"because_infer_rhat_max",
+		"because_stage_duration_seconds_bucket",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, page)
+		}
 	}
 }

@@ -6,6 +6,12 @@
 // Usage:
 //
 //	experiments [-seed N] [-pairs N] [-scale small|default] [-only fig12,tab4]
+//	            [-metrics-addr :8080] [-log-level info] [-progress]
+//
+// Observability: -metrics-addr serves Prometheus metrics on /metrics (and
+// pprof on /debug/pprof/) while the suite runs; -log-level enables
+// structured logs on stderr (debug, info, warn, error; default off);
+// -progress prints a per-experiment duration line on stderr.
 package main
 
 import (
@@ -16,23 +22,67 @@ import (
 	"time"
 
 	"because/internal/experiment"
+	"because/internal/obs"
 	"because/internal/rfd"
 )
 
+type options struct {
+	seed        uint64
+	pairs       int
+	scale       string
+	only        string
+	progress    bool
+	metricsAddr string
+	logLevel    string
+}
+
 func main() {
-	seed := flag.Uint64("seed", 2020, "scenario seed")
-	pairs := flag.Int("pairs", 3, "Burst-Break pairs per campaign")
-	scale := flag.String("scale", "default", "scenario scale: small or default")
-	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	var o options
+	flag.Uint64Var(&o.seed, "seed", 2020, "scenario seed")
+	flag.IntVar(&o.pairs, "pairs", 3, "Burst-Break pairs per campaign")
+	flag.StringVar(&o.scale, "scale", "default", "scenario scale: small or default")
+	flag.StringVar(&o.only, "only", "", "comma-separated experiment ids (default: all)")
+	flag.BoolVar(&o.progress, "progress", false, "print per-experiment durations on stderr")
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve Prometheus /metrics and pprof on this address (e.g. :8080)")
+	flag.StringVar(&o.logLevel, "log-level", "", "structured log level on stderr: debug, info, warn, error (default: off)")
 	flag.Parse()
 
-	if err := run(*seed, *pairs, *scale, *only); err != nil {
+	observer, err := newObserver(o.logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	if o.metricsAddr != "" {
+		srv, err := obs.Serve(o.metricsAddr, observer.Metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "experiments: metrics on %s/metrics\n", srv.URL())
+	}
+	if err := run(o, observer); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed uint64, pairs int, scale, only string) error {
+// newObserver builds the CLI's observability context: a registry always and
+// a stderr text logger when level names one ("" keeps logging off).
+func newObserver(level string) (*obs.Observer, error) {
+	logger := obs.Nop()
+	if level != "" {
+		min, err := obs.ParseLevel(level)
+		if err != nil {
+			return nil, err
+		}
+		logger = obs.NewTextLogger(os.Stderr, min)
+	}
+	return obs.New(logger, obs.NewRegistry()), nil
+}
+
+func run(o options, observer *obs.Observer) error {
+	seed, pairs, scale, only := o.seed, o.pairs, o.scale, o.only
 	cfg := experiment.DefaultScenario()
 	cfg.Seed = seed
 	switch scale {
@@ -51,6 +101,7 @@ func run(seed uint64, pairs int, scale, only string) error {
 	if err != nil {
 		return err
 	}
+	suite.Scenario().Obs = observer
 
 	want := map[string]bool{}
 	if only != "" {
@@ -189,9 +240,13 @@ func run(seed uint64, pairs int, scale, only string) error {
 		if !selected(e.id) {
 			continue
 		}
+		expStart := time.Now()
 		rep, err := e.fn()
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		if o.progress {
+			fmt.Fprintf(os.Stderr, "experiments: %s done in %s\n", e.id, time.Since(expStart).Round(time.Millisecond))
 		}
 		fmt.Println(rep)
 	}

@@ -5,13 +5,15 @@ import "testing"
 func TestRunSelectedExperiments(t *testing.T) {
 	// fig2 and fig5 are self-contained (no suite campaigns), so this stays
 	// fast while exercising the selection and rendering plumbing.
-	if err := run(2020, 1, "small", "fig2,fig5"); err != nil {
+	o := options{seed: 2020, pairs: 1, scale: "small", only: "fig2,fig5"}
+	if err := run(o, nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsUnknownScale(t *testing.T) {
-	if err := run(1, 1, "galactic", "fig2"); err == nil {
+	o := options{seed: 1, pairs: 1, scale: "galactic", only: "fig2"}
+	if err := run(o, nil); err == nil {
 		t.Error("unknown scale accepted")
 	}
 }

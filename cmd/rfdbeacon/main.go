@@ -7,6 +7,12 @@
 // Usage:
 //
 //	rfdbeacon [-out DIR] [-interval 1m] [-pairs 3] [-seed 2020]
+//	          [-metrics-addr :8080] [-log-level info] [-progress]
+//
+// Observability: -metrics-addr serves Prometheus metrics on /metrics (and
+// pprof on /debug/pprof/) while the campaign runs; -log-level enables
+// structured logs on stderr (debug, info, warn, error; default off);
+// -progress prints per-stage timing lines on stderr.
 package main
 
 import (
@@ -20,30 +26,81 @@ import (
 	"because/internal/experiment"
 	"because/internal/label"
 	"because/internal/mrt"
+	"because/internal/obs"
 	"because/internal/topology"
 )
 
+type options struct {
+	out         string
+	interval    time.Duration
+	pairs       int
+	seed        uint64
+	topoFile    string
+	progress    bool
+	metricsAddr string
+	logLevel    string
+}
+
 func main() {
-	out := flag.String("out", ".", "output directory for MRT dumps")
-	interval := flag.Duration("interval", time.Minute, "beacon update interval during Bursts")
-	pairs := flag.Int("pairs", 3, "number of Burst-Break pairs")
-	seed := flag.Uint64("seed", 2020, "scenario seed")
-	topo := flag.String("topology", "", "CAIDA as-rel file to run over (default: generate synthetically)")
+	var o options
+	flag.StringVar(&o.out, "out", ".", "output directory for MRT dumps")
+	flag.DurationVar(&o.interval, "interval", time.Minute, "beacon update interval during Bursts")
+	flag.IntVar(&o.pairs, "pairs", 3, "number of Burst-Break pairs")
+	flag.Uint64Var(&o.seed, "seed", 2020, "scenario seed")
+	flag.StringVar(&o.topoFile, "topology", "", "CAIDA as-rel file to run over (default: generate synthetically)")
+	flag.BoolVar(&o.progress, "progress", false, "print per-stage timing lines on stderr")
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve Prometheus /metrics and pprof on this address (e.g. :8080)")
+	flag.StringVar(&o.logLevel, "log-level", "", "structured log level on stderr: debug, info, warn, error (default: off)")
 	flag.Parse()
 
-	if err := run(*out, *interval, *pairs, *seed, *topo); err != nil {
+	observer, err := newObserver(o.logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rfdbeacon:", err)
+		os.Exit(2)
+	}
+	if o.metricsAddr != "" {
+		srv, err := obs.Serve(o.metricsAddr, observer.Metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rfdbeacon:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "rfdbeacon: metrics on %s/metrics\n", srv.URL())
+	}
+	if err := run(o, observer); err != nil {
 		fmt.Fprintln(os.Stderr, "rfdbeacon:", err)
 		os.Exit(1)
 	}
 }
 
-func run(outDir string, interval time.Duration, pairs int, seed uint64, topoFile string) error {
+// newObserver builds the CLI's observability context: a registry always and
+// a stderr text logger when level names one ("" keeps logging off).
+func newObserver(level string) (*obs.Observer, error) {
+	logger := obs.Nop()
+	if level != "" {
+		min, err := obs.ParseLevel(level)
+		if err != nil {
+			return nil, err
+		}
+		logger = obs.NewTextLogger(os.Stderr, min)
+	}
+	return obs.New(logger, obs.NewRegistry()), nil
+}
+
+func run(o options, observer *obs.Observer) error {
+	stage := func(name string, start time.Time) {
+		if o.progress {
+			fmt.Fprintf(os.Stderr, "rfdbeacon: %s done in %s\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	setup := time.Now()
 	cfg := experiment.DefaultScenario()
-	cfg.Seed = seed
+	cfg.Seed = o.seed
 	var scenario *experiment.Scenario
 	var err error
-	if topoFile != "" {
-		f, ferr := os.Open(topoFile)
+	if o.topoFile != "" {
+		f, ferr := os.Open(o.topoFile)
 		if ferr != nil {
 			return ferr
 		}
@@ -59,17 +116,22 @@ func run(outDir string, interval time.Duration, pairs int, seed uint64, topoFile
 	if err != nil {
 		return err
 	}
+	scenario.Obs = observer
+	stage("scenario setup", setup)
 	fmt.Printf("topology: %d ASes, %d links; %d beacon sites, %d vantage points, %d RFD deployments\n",
 		scenario.Graph.Len(), scenario.Graph.Links(), len(scenario.Sites), len(scenario.VPs),
 		len(scenario.Deployments))
 
-	run, err := scenario.RunCampaign(experiment.IntervalCampaign(interval, pairs))
+	campaignStart := time.Now()
+	run, err := scenario.RunCampaign(experiment.IntervalCampaign(o.interval, o.pairs))
 	if err != nil {
 		return err
 	}
+	stage("campaign", campaignStart)
 	fmt.Printf("campaign %s: %d BGP updates sent, %d entries archived, %d labeled paths\n",
 		run.Campaign.Name, run.UpdatesSent, len(run.Entries), len(run.Measurements))
 
+	archiveStart := time.Now()
 	// One MRT dump per project, like the real archives.
 	byProject := make(map[collector.Project][]collector.Entry)
 	for _, e := range run.Entries {
@@ -77,7 +139,7 @@ func run(outDir string, interval time.Duration, pairs int, seed uint64, topoFile
 	}
 	for _, project := range collector.Projects {
 		entries := byProject[project]
-		name := filepath.Join(outDir, fmt.Sprintf("updates.%s.%s.mrt", project, run.Campaign.Name))
+		name := filepath.Join(o.out, fmt.Sprintf("updates.%s.%s.mrt", project, run.Campaign.Name))
 		f, err := os.Create(name)
 		if err != nil {
 			return err
@@ -100,7 +162,7 @@ func run(outDir string, interval time.Duration, pairs int, seed uint64, topoFile
 
 	// A final RIB snapshot, reconstructed from the updates like real
 	// archive tooling does.
-	ribName := filepath.Join(outDir, fmt.Sprintf("rib.%s.mrt", run.Campaign.Name))
+	ribName := filepath.Join(o.out, fmt.Sprintf("rib.%s.mrt", run.Campaign.Name))
 	f, err := os.Create(ribName)
 	if err != nil {
 		return err
@@ -116,7 +178,7 @@ func run(outDir string, interval time.Duration, pairs int, seed uint64, topoFile
 	fmt.Printf("wrote %s (snapshot at %s)\n", ribName, snapAt.Format(time.RFC3339))
 
 	// The labeled path dataset, ready for cmd/becausectl.
-	pathsName := filepath.Join(outDir, fmt.Sprintf("paths.%s.json", run.Campaign.Name))
+	pathsName := filepath.Join(o.out, fmt.Sprintf("paths.%s.json", run.Campaign.Name))
 	pf, err := os.Create(pathsName)
 	if err != nil {
 		return err
@@ -129,6 +191,7 @@ func run(outDir string, interval time.Duration, pairs int, seed uint64, topoFile
 		return err
 	}
 	fmt.Printf("wrote %s (feed it to: go run ./cmd/becausectl -in %s)\n", pathsName, pathsName)
+	stage("archiving", archiveStart)
 
 	rfdPaths := 0
 	for _, m := range run.Measurements {

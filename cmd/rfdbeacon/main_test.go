@@ -3,12 +3,14 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
 	"because/internal/collector"
 	"because/internal/label"
 	"because/internal/mrt"
+	"because/internal/obs"
 )
 
 func TestRunWritesAllArtifacts(t *testing.T) {
@@ -16,8 +18,21 @@ func TestRunWritesAllArtifacts(t *testing.T) {
 		t.Skip("full campaign in -short mode")
 	}
 	dir := t.TempDir()
-	if err := run(dir, 5*time.Minute, 1, 2020, ""); err != nil {
+	observer := obs.New(nil, obs.NewRegistry())
+	o := options{out: dir, interval: 5 * time.Minute, pairs: 1, seed: 2020}
+	if err := run(o, observer); err != nil {
 		t.Fatal(err)
+	}
+	// The observer must be wired through to the collector stage.
+	snap := observer.Metrics.Snapshot()
+	ingested := 0.0
+	for name, v := range snap {
+		if strings.HasPrefix(name, obs.MetricCollectorUpdates) {
+			ingested += v
+		}
+	}
+	if ingested == 0 {
+		t.Errorf("no %s series recorded; snapshot: %v", obs.MetricCollectorUpdates, snap)
 	}
 	// One update dump per project, a RIB snapshot and the labeled paths.
 	for _, p := range collector.Projects {

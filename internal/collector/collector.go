@@ -19,6 +19,7 @@ import (
 
 	"because/internal/bgp"
 	"because/internal/mrt"
+	"because/internal/obs"
 	"because/internal/router"
 	"because/internal/stats"
 )
@@ -102,7 +103,13 @@ type Collector struct {
 	lastExport map[VantagePoint]time.Time
 	localIP    netip.Addr
 	localAS    bgp.ASN
+	obs        *obs.Observer
 }
+
+// SetObserver attaches metrics and logging; each archived update then
+// increments the per-project ingest counter. Call before Attach; nil (the
+// default) disables instrumentation.
+func (c *Collector) SetObserver(o *obs.Observer) { c.obs = o }
 
 // New returns an empty collector. rng seeds the per-project export-delay
 // streams.
@@ -124,6 +131,8 @@ func New(rng *stats.RNG) *Collector {
 func (c *Collector) Attach(net *router.Network, vps []VantagePoint) error {
 	for _, vp := range vps {
 		vp := vp
+		// Resolved once per vantage point; nil when unobserved.
+		ingested := c.obs.Counter(obs.MetricCollectorUpdates, "project", vp.Project.String())
 		err := net.AttachMonitor(vp.AS, func(now time.Time, u *bgp.Update) {
 			exported := now.Add(vp.Project.exportDelay(now, c.rngs[vp.Project]))
 			if last := c.lastExport[vp]; exported.Before(last) {
@@ -136,6 +145,7 @@ func (c *Collector) Attach(net *router.Network, vps []VantagePoint) error {
 				Exported: exported,
 				Update:   u,
 			})
+			ingested.Inc()
 		})
 		if err != nil {
 			return fmt.Errorf("collector: attaching %v/%v: %w", vp.AS, vp.Project, err)

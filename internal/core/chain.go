@@ -17,6 +17,11 @@ type Chain struct {
 	// Accepted and Proposed count Metropolis decisions (for MH these are
 	// per-coordinate proposals; for HMC per trajectory).
 	Accepted, Proposed int
+	// Divergent counts HMC trajectories whose Hamiltonian error exceeded
+	// the divergence threshold — the leapfrog integrator blew up. Always 0
+	// for MH. A non-trivial divergence share means the posterior geometry
+	// is not being explored faithfully; lower HMCConfig.StepSize.
+	Divergent int
 }
 
 // AcceptanceRate returns Accepted/Proposed (0 when nothing was proposed).

@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
+	"because/internal/obs"
 	"because/internal/stats"
 )
 
@@ -28,6 +30,17 @@ type HMCConfig struct {
 	// MissRate, when positive, enables the § 7.2 measurement-error
 	// likelihood (see MHConfig.MissRate).
 	MissRate float64
+
+	// Chain tags metrics and progress events with the chain index.
+	Chain int
+	// Obs receives per-run sampler metrics (trajectory counters,
+	// acceptance rate, divergences, throughput) and debug logs.
+	Obs *obs.Observer
+	// Progress, when non-nil, is invoked every ProgressEvery trajectories
+	// and once more at completion.
+	Progress obs.ProgressFunc
+	// ProgressEvery is the progress cadence in trajectories (default 100).
+	ProgressEvery int
 }
 
 func (c HMCConfig) withDefaults() HMCConfig {
@@ -46,16 +59,25 @@ func (c HMCConfig) withDefaults() HMCConfig {
 	if c.Jitter == 0 {
 		c.Jitter = 0.2
 	}
+	if c.ProgressEvery == 0 {
+		c.ProgressEvery = 100
+	}
 	return c
 }
 
 func (c HMCConfig) validate() error {
 	if c.Iterations < 1 || c.BurnIn < 0 || c.Leapfrog < 1 || c.StepSize <= 0 || c.Jitter < 0 || c.Jitter > 1 ||
-		c.MissRate < 0 || c.MissRate >= 1 {
+		c.MissRate < 0 || c.MissRate >= 1 || c.ProgressEvery < 1 {
 		return fmt.Errorf("core: invalid HMC config %+v", c)
 	}
 	return nil
 }
+
+// divergenceThreshold is the Hamiltonian error (in nats) beyond which a
+// trajectory counts as divergent: the leapfrog integrator has left the
+// region where its energy error is bounded, so the proposal is effectively
+// always rejected and the step size is too large for the local curvature.
+const divergenceThreshold = 50.0
 
 // RunHMC draws samples from the posterior with Hamiltonian Monte Carlo.
 func RunHMC(ds *Dataset, prior Prior, cfg HMCConfig, rng *stats.RNG) (*Chain, error) {
@@ -95,6 +117,12 @@ func RunHMC(ds *Dataset, prior Prior, cfg HMCConfig, rng *stats.RNG) (*Chain, er
 	logPost := st.logPostTheta(prior)
 
 	total := cfg.BurnIn + cfg.Iterations
+	// Nil metric handles (no observer) reduce every update to one pointer
+	// check — the no-op fast path.
+	chainLabel := obs.ChainLabel(cfg.Chain)
+	iterCtr := cfg.Obs.Counter(obs.MetricSweeps, "method", "hmc", "chain", chainLabel)
+	divCtr := cfg.Obs.Counter(obs.MetricDivergences, "method", "hmc", "chain", chainLabel)
+	start := time.Now()
 	for iter := 0; iter < total; iter++ {
 		// Fresh Gaussian momentum; kinetic energy = |m|^2/2.
 		kin0 := 0.0
@@ -143,6 +171,10 @@ func RunHMC(ds *Dataset, prior Prior, cfg HMCConfig, rng *stats.RNG) (*Chain, er
 
 		logAlpha := (logPostProp - kin1) - (logPost - kin0)
 		chain.Proposed++
+		if math.IsNaN(logAlpha) || logAlpha < -divergenceThreshold {
+			chain.Divergent++
+			divCtr.Inc()
+		}
 		if logAlpha >= 0 || math.Log(rng.Float64()+1e-300) < logAlpha {
 			copy(theta, thetaProp)
 			st = stProp
@@ -152,6 +184,29 @@ func RunHMC(ds *Dataset, prior Prior, cfg HMCConfig, rng *stats.RNG) (*Chain, er
 		if iter >= cfg.BurnIn {
 			chain.Samples = append(chain.Samples, append([]float64(nil), st.p...))
 		}
+		iterCtr.Inc()
+		if cfg.Progress != nil && (iter+1)%cfg.ProgressEvery == 0 && iter+1 < total {
+			cfg.Progress(obs.Progress{
+				Stage: "hmc", Chain: cfg.Chain, Done: iter + 1, Total: total,
+				Accepted: chain.Accepted, Proposed: chain.Proposed,
+			})
+		}
+	}
+	if cfg.Obs != nil {
+		elapsed := time.Since(start)
+		cfg.Obs.Gauge(obs.MetricAcceptance, "method", "hmc", "chain", chainLabel).Set(chain.AcceptanceRate())
+		if secs := elapsed.Seconds(); secs > 0 {
+			cfg.Obs.Gauge(obs.MetricSweepRate, "method", "hmc", "chain", chainLabel).Set(float64(total) / secs)
+		}
+		cfg.Obs.Log(obs.LevelInfo, "hmc chain done",
+			"chain", cfg.Chain, "iterations", total, "retained", chain.Len(),
+			"acceptance", chain.AcceptanceRate(), "divergences", chain.Divergent, "elapsed", elapsed)
+	}
+	if cfg.Progress != nil {
+		cfg.Progress(obs.Progress{
+			Stage: "hmc", Chain: cfg.Chain, Done: total, Total: total,
+			Accepted: chain.Accepted, Proposed: chain.Proposed,
+		})
 	}
 	return chain, nil
 }

@@ -2,7 +2,10 @@ package core
 
 import (
 	"fmt"
+	"math"
 
+	"because/internal/bgp"
+	"because/internal/obs"
 	"because/internal/stats"
 )
 
@@ -32,6 +35,19 @@ type Config struct {
 	MissRate float64
 	// Seed makes the run reproducible.
 	Seed uint64
+
+	// Obs attaches metrics and structured logging to every stage of the
+	// run: the samplers report acceptance rates, sweep counters,
+	// divergences and throughput; Infer itself reports stage durations
+	// and final R-hat/ESS diagnostics. Nil (the default) is a no-op whose
+	// cost is a pointer check per sweep.
+	Obs *obs.Observer
+	// Progress, when non-nil, receives sampler progress events every
+	// ProgressEvery sweeps and at each sampler's completion — enough for
+	// a CLI to render live progress. Called synchronously: keep it fast.
+	Progress obs.ProgressFunc
+	// ProgressEvery is the progress cadence in sweeps (default 100).
+	ProgressEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -55,16 +71,31 @@ type Result struct {
 	Chains []*Chain
 	// Pinpointed lists ASes upgraded by the inconsistent-damper pass.
 	Pinpointed []NodeSummary
+
+	// index maps ASN → Summaries position. Built by Infer; for manually
+	// constructed Results the first Lookup builds it lazily.
+	index map[bgp.ASN]int
 }
 
-// Lookup returns the summary for the given AS.
-func (r *Result) Lookup(asn uint32) (NodeSummary, bool) {
-	for _, s := range r.Summaries {
-		if uint32(s.ASN) == asn {
-			return s, true
-		}
+func (r *Result) buildIndex() {
+	idx := make(map[bgp.ASN]int, len(r.Summaries))
+	for i, s := range r.Summaries {
+		idx[s.ASN] = i
 	}
-	return NodeSummary{}, false
+	r.index = idx
+}
+
+// Lookup returns the summary for the given AS in O(1) via an ASN index
+// built once per Result.
+func (r *Result) Lookup(asn uint32) (NodeSummary, bool) {
+	if r.index == nil {
+		r.buildIndex()
+	}
+	i, ok := r.index[bgp.ASN(asn)]
+	if !ok {
+		return NodeSummary{}, false
+	}
+	return r.Summaries[i], true
 }
 
 // Positives returns the summaries flagged Category 4 or 5.
@@ -104,11 +135,25 @@ func Infer(ds *Dataset, cfg Config) (*Result, error) {
 	if cfg.Chains < 1 {
 		cfg.Chains = 1
 	}
+	// Thread the observability context into the samplers.
+	cfg.MH.Obs, cfg.MH.Progress, cfg.MH.ProgressEvery = cfg.Obs, cfg.Progress, cfg.ProgressEvery
+	cfg.HMC.Obs, cfg.HMC.Progress, cfg.HMC.ProgressEvery = cfg.Obs, cfg.Progress, cfg.ProgressEvery
+	o := cfg.Obs
+	if o != nil {
+		o.Counter(obs.MetricInferRuns).Inc()
+		o.Gauge(obs.MetricInferNodes).Set(float64(ds.NumNodes()))
+		o.Gauge(obs.MetricInferPaths).Set(float64(ds.NumPaths()))
+		o.Log(obs.LevelInfo, "inference started",
+			"paths", ds.NumPaths(), "nodes", ds.NumNodes(), "chains", cfg.Chains,
+			"mh", !cfg.DisableMH, "hmc", !cfg.DisableHMC, "miss_rate", cfg.MissRate)
+	}
 	rng := stats.NewRNG(cfg.Seed)
 	var chains []*Chain
 	var mhChains []*Chain
 	if !cfg.DisableMH {
+		span := o.StartSpan("mh")
 		for k := 0; k < cfg.Chains; k++ {
+			cfg.MH.Chain = k
 			c, err := RunMH(ds, cfg.Prior, cfg.MH, rng.Split())
 			if err != nil {
 				return nil, fmt.Errorf("core: MH: %w", err)
@@ -116,36 +161,66 @@ func Infer(ds *Dataset, cfg Config) (*Result, error) {
 			chains = append(chains, c)
 			mhChains = append(mhChains, c)
 		}
+		span.End()
 	}
 	if !cfg.DisableHMC {
+		span := o.StartSpan("hmc")
 		c, err := RunHMC(ds, cfg.Prior, cfg.HMC, rng.Split())
 		if err != nil {
 			return nil, fmt.Errorf("core: HMC: %w", err)
 		}
 		chains = append(chains, c)
+		span.End()
 	}
+	span := o.StartSpan("summarize")
 	summaries, err := Summarize(ds, chains, cfg.HDPIMass)
 	if err != nil {
 		return nil, err
 	}
 	if len(mhChains) >= 2 {
+		rhatMax := math.Inf(-1)
 		for i := range summaries {
 			marginals := make([][]float64, len(mhChains))
 			for k, c := range mhChains {
 				marginals[k] = c.Marginal(i)
 			}
 			summaries[i].RHat = RHat(marginals)
+			if r := summaries[i].RHat; !math.IsNaN(r) && r > rhatMax {
+				rhatMax = r
+			}
+		}
+		if o != nil && !math.IsInf(rhatMax, -1) {
+			o.Gauge(obs.MetricRHatMax).Set(rhatMax)
+			o.Log(obs.LevelInfo, "convergence diagnostics", "rhat_max", rhatMax, "chains", len(mhChains))
 		}
 	}
+	if o != nil && len(chains) > 0 {
+		// Minimum per-node effective sample size of the first chain — the
+		// mixing-quality floor a dashboard should alert on.
+		essMin := math.Inf(1)
+		for i := 0; i < ds.NumNodes(); i++ {
+			if e := ESS(chains[0].Marginal(i)); e < essMin {
+				essMin = e
+			}
+		}
+		if !math.IsInf(essMin, 1) {
+			o.Gauge(obs.MetricESSMin).Set(essMin)
+		}
+	}
+	span.End()
 	res := &Result{Summaries: summaries, Chains: chains}
+	res.buildIndex()
 	if cfg.PinpointThreshold > 0 {
+		span := o.StartSpan("pinpoint")
 		upgraded := PinpointInconsistent(ds, chains, res.Summaries, cfg.PinpointThreshold)
 		for _, asn := range upgraded {
-			for _, s := range res.Summaries {
-				if s.ASN == asn {
-					res.Pinpointed = append(res.Pinpointed, s)
-				}
+			if i, ok := res.index[asn]; ok {
+				res.Pinpointed = append(res.Pinpointed, res.Summaries[i])
 			}
+		}
+		span.End()
+		if o != nil && len(upgraded) > 0 {
+			o.Log(obs.LevelInfo, "pinpointing upgraded ASes", "count", len(upgraded))
 		}
 	}
 	return res, nil

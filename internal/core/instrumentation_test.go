@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"because/internal/obs"
+	"because/internal/stats"
+)
+
+// TestRHatDisagreeingConstantChains: zero within-chain variance with
+// non-zero between-chain variance is maximal disagreement, +Inf.
+func TestRHatDisagreeingConstantChains(t *testing.T) {
+	if got := RHat([][]float64{{1, 1, 1}, {2, 2, 2}}); !math.IsInf(got, 1) {
+		t.Errorf("disagreeing constant chains R-hat = %g, want +Inf", got)
+	}
+}
+
+// TestRHatTooShortChains: the statistic needs at least two samples per
+// chain; single-sample chains have no within-chain variance to compare.
+func TestRHatTooShortChains(t *testing.T) {
+	if got := RHat([][]float64{{1}, {2}}); !math.IsNaN(got) {
+		t.Errorf("length-1 chains R-hat = %g, want NaN", got)
+	}
+	if got := RHat([][]float64{{}, {}}); !math.IsNaN(got) {
+		t.Errorf("empty chains R-hat = %g, want NaN", got)
+	}
+}
+
+// TestESSDegenerateInputs: constant samples carry no autocorrelation
+// information (c0 = 0) and tiny inputs skip the estimator — both report n.
+func TestESSDegenerateInputs(t *testing.T) {
+	constant := []float64{0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5}
+	if got := ESS(constant); got != float64(len(constant)) {
+		t.Errorf("constant ESS = %g, want %d", got, len(constant))
+	}
+	if got := ESS([]float64{1, 2, 3}); got != 3 {
+		t.Errorf("n=3 ESS = %g, want 3", got)
+	}
+	if got := ESS(nil); got != 0 {
+		t.Errorf("nil ESS = %g, want 0", got)
+	}
+}
+
+// TestMHProgressCadence pins the callback contract: one event per
+// ProgressEvery sweeps (burn-in included), the final multiple suppressed in
+// favor of exactly one completion event with Done == Total.
+func TestMHProgressCadence(t *testing.T) {
+	ds := plantedDataset(t)
+	var events []obs.Progress
+	cfg := MHConfig{
+		Sweeps: 150, BurnIn: 50, // total 200
+		ProgressEvery: 50,
+		Progress:      func(p obs.Progress) { events = append(events, p) },
+	}
+	if _, err := RunMH(ds, SparsePrior, cfg, stats.NewRNG(3)); err != nil {
+		t.Fatal(err)
+	}
+	wantDone := []int{50, 100, 150, 200}
+	if len(events) != len(wantDone) {
+		t.Fatalf("got %d progress events, want %d: %+v", len(events), len(wantDone), events)
+	}
+	for i, p := range events {
+		if p.Done != wantDone[i] || p.Total != 200 || p.Stage != "mh" {
+			t.Errorf("event %d = %+v, want Done=%d Total=200 Stage=mh", i, p, wantDone[i])
+		}
+		if p.Proposed > 0 && (p.AcceptanceRate() < 0 || p.AcceptanceRate() > 1) {
+			t.Errorf("event %d acceptance rate %g out of [0,1]", i, p.AcceptanceRate())
+		}
+	}
+	last := events[len(events)-1]
+	if last.Done != last.Total {
+		t.Errorf("final event not a completion event: %+v", last)
+	}
+}
+
+// TestHMCProgressCadence mirrors the MH contract for trajectories.
+func TestHMCProgressCadence(t *testing.T) {
+	ds := plantedDataset(t)
+	var events []obs.Progress
+	cfg := HMCConfig{
+		Iterations: 90, BurnIn: 30, // total 120
+		ProgressEvery: 40,
+		Progress:      func(p obs.Progress) { events = append(events, p) },
+	}
+	if _, err := RunHMC(ds, SparsePrior, cfg, stats.NewRNG(4)); err != nil {
+		t.Fatal(err)
+	}
+	wantDone := []int{40, 80, 120}
+	if len(events) != len(wantDone) {
+		t.Fatalf("got %d progress events, want %d: %+v", len(events), len(wantDone), events)
+	}
+	for i, p := range events {
+		if p.Done != wantDone[i] || p.Total != 120 || p.Stage != "hmc" {
+			t.Errorf("event %d = %+v, want Done=%d Total=120 Stage=hmc", i, p, wantDone[i])
+		}
+	}
+}
+
+// TestInferObserverMetrics runs the full pipeline with an observer and
+// checks every instrument the dashboard depends on reported.
+func TestInferObserverMetrics(t *testing.T) {
+	ds := plantedDataset(t)
+	observer := obs.New(nil, obs.NewRegistry())
+	cfg := Config{
+		Seed:   5,
+		Chains: 2,
+		MH:     MHConfig{Sweeps: 200, BurnIn: 50},
+		HMC:    HMCConfig{Iterations: 100, BurnIn: 25},
+		Obs:    observer,
+	}
+	if _, err := Infer(ds, cfg); err != nil {
+		t.Fatal(err)
+	}
+	snap := observer.Metrics.Snapshot()
+	for _, key := range []string{
+		obs.MetricInferRuns,
+		obs.MetricInferNodes,
+		obs.MetricInferPaths,
+		obs.MetricRHatMax,
+		obs.MetricESSMin,
+		obs.MetricSweeps + `{chain="0",method="mh"}`,
+		obs.MetricSweeps + `{chain="1",method="mh"}`,
+		obs.MetricSweeps + `{chain="0",method="hmc"}`,
+		obs.MetricAcceptance + `{chain="0",method="mh"}`,
+		obs.MetricAcceptance + `{chain="1",method="mh"}`,
+		obs.MetricAcceptance + `{chain="0",method="hmc"}`,
+		obs.MetricStageSeconds + `_count{stage="mh"}`,
+		obs.MetricStageSeconds + `_count{stage="hmc"}`,
+		obs.MetricStageSeconds + `_count{stage="summarize"}`,
+		obs.MetricStageSeconds + `_count{stage="pinpoint"}`,
+	} {
+		if _, ok := snap[key]; !ok {
+			t.Errorf("snapshot missing %q", key)
+		}
+	}
+	if got := snap[obs.MetricSweeps+`{chain="0",method="mh"}`]; got != 250 {
+		t.Errorf("mh sweeps = %g, want 250", got)
+	}
+	if got := snap[obs.MetricInferRuns]; got != 1 {
+		t.Errorf("infer runs = %g, want 1", got)
+	}
+	if got := snap[obs.MetricRHatMax]; !(got > 0) {
+		t.Errorf("rhat_max = %g, want > 0", got)
+	}
+}
+
+// TestHMCDivergenceCounterMatchesChain forces divergent trajectories with a
+// wildly oversized step and checks the counter agrees with Chain.Divergent.
+func TestHMCDivergenceCounterMatchesChain(t *testing.T) {
+	ds := plantedDataset(t)
+	observer := obs.New(nil, obs.NewRegistry())
+	cfg := HMCConfig{
+		Iterations: 100, BurnIn: 20,
+		StepSize: 60, Leapfrog: 12,
+		Obs: observer,
+	}
+	c, err := RunHMC(ds, SparsePrior, cfg, stats.NewRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Divergent == 0 {
+		t.Fatal("step size 60 produced no divergences; test needs a harsher setting")
+	}
+	snap := observer.Metrics.Snapshot()
+	got := snap[obs.MetricDivergences+`{chain="0",method="hmc"}`]
+	if got != float64(c.Divergent) {
+		t.Errorf("divergence counter = %g, chain.Divergent = %d", got, c.Divergent)
+	}
+}

@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
+	"because/internal/obs"
 	"because/internal/stats"
 )
 
@@ -25,6 +27,18 @@ type MHConfig struct {
 	// likelihood: a truly-positive path is recorded negative with this
 	// probability.
 	MissRate float64
+
+	// Chain tags metrics and progress events with the chain index when the
+	// sampler runs as part of a multi-chain ensemble (set by Infer).
+	Chain int
+	// Obs receives per-run sampler metrics (sweep counters, acceptance
+	// rate, throughput) and debug logs. Nil costs one pointer check.
+	Obs *obs.Observer
+	// Progress, when non-nil, is invoked every ProgressEvery sweeps and
+	// once more at completion, synchronously from the sampling loop.
+	Progress obs.ProgressFunc
+	// ProgressEvery is the progress cadence in sweeps (default 100).
+	ProgressEvery int
 }
 
 func (c MHConfig) withDefaults() MHConfig {
@@ -40,12 +54,15 @@ func (c MHConfig) withDefaults() MHConfig {
 	if c.Thin == 0 {
 		c.Thin = 1
 	}
+	if c.ProgressEvery == 0 {
+		c.ProgressEvery = 100
+	}
 	return c
 }
 
 func (c MHConfig) validate() error {
 	if c.Sweeps < 1 || c.BurnIn < 0 || c.StepSize <= 0 || c.Thin < 1 ||
-		c.MissRate < 0 || c.MissRate >= 1 {
+		c.MissRate < 0 || c.MissRate >= 1 || c.ProgressEvery < 1 {
 		return fmt.Errorf("core: invalid MH config %+v", c)
 	}
 	return nil
@@ -75,6 +92,11 @@ func RunMH(ds *Dataset, prior Prior, cfg MHConfig, rng *stats.RNG) (*Chain, erro
 
 	chain := &Chain{Method: "mh", Nodes: ds.Nodes()}
 	total := cfg.BurnIn + cfg.Sweeps
+	// Metric handles are resolved once; with no observer they are nil and
+	// every update below is a single pointer check (the no-op fast path).
+	chainLabel := obs.ChainLabel(cfg.Chain)
+	sweepCtr := cfg.Obs.Counter(obs.MetricSweeps, "method", "mh", "chain", chainLabel)
+	start := time.Now()
 	for sweep := 0; sweep < total; sweep++ {
 		order := rng.Perm(n)
 		for _, i := range order {
@@ -100,6 +122,29 @@ func RunMH(ds *Dataset, prior Prior, cfg MHConfig, rng *stats.RNG) (*Chain, erro
 		if sweep%256 == 255 {
 			st.recompute()
 		}
+		sweepCtr.Inc()
+		if cfg.Progress != nil && (sweep+1)%cfg.ProgressEvery == 0 && sweep+1 < total {
+			cfg.Progress(obs.Progress{
+				Stage: "mh", Chain: cfg.Chain, Done: sweep + 1, Total: total,
+				Accepted: chain.Accepted, Proposed: chain.Proposed,
+			})
+		}
+	}
+	if cfg.Obs != nil {
+		elapsed := time.Since(start)
+		cfg.Obs.Gauge(obs.MetricAcceptance, "method", "mh", "chain", chainLabel).Set(chain.AcceptanceRate())
+		if secs := elapsed.Seconds(); secs > 0 {
+			cfg.Obs.Gauge(obs.MetricSweepRate, "method", "mh", "chain", chainLabel).Set(float64(total) / secs)
+		}
+		cfg.Obs.Log(obs.LevelInfo, "mh chain done",
+			"chain", cfg.Chain, "sweeps", total, "retained", chain.Len(),
+			"acceptance", chain.AcceptanceRate(), "elapsed", elapsed)
+	}
+	if cfg.Progress != nil {
+		cfg.Progress(obs.Progress{
+			Stage: "mh", Chain: cfg.Chain, Done: total, Total: total,
+			Accepted: chain.Accepted, Proposed: chain.Proposed,
+		})
 	}
 	return chain, nil
 }

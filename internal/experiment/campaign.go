@@ -11,6 +11,7 @@ import (
 	"because/internal/heuristics"
 	"because/internal/label"
 	"because/internal/netsim"
+	"because/internal/obs"
 	"because/internal/router"
 	"because/internal/stats"
 	"because/internal/topology"
@@ -73,6 +74,7 @@ func (s *Scenario) RunCampaign(c beacon.Campaign) (*Run, error) {
 		seed = seed*31 + uint64(ch)
 	}
 	rng := stats.NewRNG(seed)
+	span := s.Obs.StartSpan("campaign")
 
 	eng := netsim.NewEngine(Start.Add(-time.Hour))
 	opts := router.Options{
@@ -80,6 +82,7 @@ func (s *Scenario) RunCampaign(c beacon.Campaign) (*Run, error) {
 	}
 	net := router.New(eng, s.Graph, opts, rng.Split())
 	col := collector.New(rng.Split())
+	col.SetObserver(s.Obs)
 	if err := col.Attach(net, s.vpList()); err != nil {
 		return nil, err
 	}
@@ -106,12 +109,16 @@ func (s *Scenario) RunCampaign(c beacon.Campaign) (*Run, error) {
 		Campaign:     c,
 		Schedules:    schedules,
 		Entries:      col.Entries(),
-		Measurements: label.LabelPaths(col.Entries(), schedules, label.Config{}),
+		Measurements: label.LabelPaths(col.Entries(), schedules, label.Config{Obs: s.Obs}),
 		Propagation:  label.PropagationDeltas(col.Entries(), schedules),
 	}
 	for _, asn := range s.Graph.ASNs() {
 		run.UpdatesSent += net.Router(asn).UpdatesSent
 	}
+	span.End()
+	s.Obs.Log(obs.LevelInfo, "campaign done",
+		"campaign", c.Name, "updates_sent", run.UpdatesSent,
+		"entries", len(run.Entries), "paths", len(run.Measurements))
 	return run, nil
 }
 
@@ -199,13 +206,16 @@ func InferConfig(seed uint64) core.Config {
 	}
 }
 
-// Infer runs BeCAUSe over the campaign's measurements.
+// Infer runs BeCAUSe over the campaign's measurements, instrumented with
+// the scenario's observer.
 func (r *Run) Infer() (*core.Result, *core.Dataset, error) {
 	ds, err := r.Dataset()
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := core.Infer(ds, InferConfig(r.Scenario.Config.Seed+7))
+	cfg := InferConfig(r.Scenario.Config.Seed + 7)
+	cfg.Obs = r.Scenario.Obs
+	res, err := core.Infer(ds, cfg)
 	if err != nil {
 		return nil, nil, err
 	}

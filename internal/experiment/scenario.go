@@ -14,6 +14,7 @@ import (
 	"because/internal/beacon"
 	"because/internal/bgp"
 	"because/internal/netsim"
+	"because/internal/obs"
 	"because/internal/rfd"
 	"because/internal/router"
 	"because/internal/stats"
@@ -134,6 +135,10 @@ type Scenario struct {
 	VPs []VantagePointSpec
 	// Deployments is the ground truth, keyed by ASN.
 	Deployments map[bgp.ASN]Deployment
+	// Obs, when set, instruments every campaign run over this scenario:
+	// collector ingest counters, labeling counters, stage spans, and the
+	// inference metrics of Run.Infer. Nil (the default) is a no-op.
+	Obs *obs.Observer
 
 	// nextHops records, from the discovery round, how often each measured
 	// AS forwarded a beacon path through each neighbor (toward the origin).

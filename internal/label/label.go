@@ -21,6 +21,7 @@ import (
 	"because/internal/beacon"
 	"because/internal/bgp"
 	"because/internal/collector"
+	"because/internal/obs"
 )
 
 // Config tunes the labeling rules; zero values select the paper's settings.
@@ -33,6 +34,10 @@ type Config struct {
 	PropagationAllowance time.Duration
 	// RFDShare is the minimum share of matching pairs (default 0.9).
 	RFDShare float64
+	// Obs attaches metrics and logging: paths labeled, RFD signatures
+	// found, Burst-Break pairs classified, plus the stage span. Nil (the
+	// default) disables instrumentation.
+	Obs *obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +98,7 @@ type pathAgg struct {
 // control, not an RFD probe.
 func LabelPaths(entries []collector.Entry, schedules []beacon.Schedule, cfg Config) []Measurement {
 	cfg = cfg.withDefaults()
+	span := cfg.Obs.StartSpan("label")
 
 	// Index entries by (prefix, vp).
 	type feedKey struct {
@@ -141,6 +147,21 @@ func LabelPaths(entries []collector.Entry, schedules []beacon.Schedule, cfg Conf
 			ms := labelFeed(feeds[k], sched, k.vp, cfg)
 			out = append(out, ms...)
 		}
+	}
+	if cfg.Obs != nil {
+		rfdPaths, pairs := 0, 0
+		for _, m := range out {
+			pairs += m.PairsTotal
+			if m.RFD {
+				rfdPaths++
+			}
+		}
+		cfg.Obs.Counter(obs.MetricLabelPaths).Add(uint64(len(out)))
+		cfg.Obs.Counter(obs.MetricLabelRFDPaths).Add(uint64(rfdPaths))
+		cfg.Obs.Counter(obs.MetricLabelPairs).Add(uint64(pairs))
+		span.End()
+		cfg.Obs.Log(obs.LevelInfo, "labeling done",
+			"entries", len(entries), "paths", len(out), "rfd_paths", rfdPaths, "pairs", pairs)
 	}
 	return out
 }

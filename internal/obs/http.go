@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server exposes a registry over HTTP: GET /metrics serves the Prometheus
+// text exposition, and the standard net/http/pprof handlers are mounted
+// under /debug/pprof/ for live profiling of long inference runs.
+type Server struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// Serve starts listening on addr (":0" picks a free port) and serves the
+// registry until Close. The returned server is already accepting.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		lis: lis,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go s.srv.Serve(lis) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound address (host:port), useful with ":0".
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close stops the listener.
+func (s *Server) Close() error { return s.srv.Close() }

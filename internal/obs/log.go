@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level is a log severity.
+type Level int8
+
+// Severities, least to most severe.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return fmt.Sprintf("level(%d)", int8(l))
+	}
+}
+
+// ParseLevel reads a level name ("debug", "info", "warn", "error").
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	default:
+		return LevelInfo, fmt.Errorf("obs: unknown log level %q", s)
+	}
+}
+
+// Logger is the minimal structured logging contract: a message plus
+// alternating key/value pairs, slog-style. Implementations must be safe for
+// concurrent use.
+type Logger interface {
+	// Log emits one record. kv is alternating key, value, key, value ...
+	Log(level Level, msg string, kv ...any)
+	// Enabled reports whether records at the level would be emitted, so
+	// callers can skip expensive argument construction.
+	Enabled(level Level) bool
+}
+
+// nopLogger drops everything.
+type nopLogger struct{}
+
+func (nopLogger) Log(Level, string, ...any) {}
+func (nopLogger) Enabled(Level) bool        { return false }
+
+// Nop returns a logger that drops every record. It is the default wherever
+// a Logger is optional, so library callers pay nothing.
+func Nop() Logger { return nopLogger{} }
+
+// TextLogger writes one line per record:
+//
+//	2020-03-01T00:00:00Z info mh chain done chain=0 acceptance=0.23
+//
+// Keys and values are rendered with %v; strings containing spaces, '=' or
+// '"' are quoted. Safe for concurrent use.
+type TextLogger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	min Level
+	// now is stubbed in tests.
+	now func() time.Time
+}
+
+// NewTextLogger returns a TextLogger writing records at or above min to w.
+func NewTextLogger(w io.Writer, min Level) *TextLogger {
+	return &TextLogger{w: w, min: min, now: time.Now}
+}
+
+// Enabled implements Logger.
+func (l *TextLogger) Enabled(level Level) bool { return level >= l.min }
+
+// Log implements Logger.
+func (l *TextLogger) Log(level Level, msg string, kv ...any) {
+	if !l.Enabled(level) {
+		return
+	}
+	var b strings.Builder
+	b.WriteString(l.now().UTC().Format(time.RFC3339))
+	b.WriteByte(' ')
+	b.WriteString(level.String())
+	b.WriteByte(' ')
+	b.WriteString(msg)
+	for i := 0; i+1 < len(kv); i += 2 {
+		b.WriteByte(' ')
+		b.WriteString(fmt.Sprintf("%v", kv[i]))
+		b.WriteByte('=')
+		b.WriteString(formatValue(kv[i+1]))
+	}
+	if len(kv)%2 == 1 {
+		b.WriteString(" !MISSING=")
+		b.WriteString(formatValue(kv[len(kv)-1]))
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	io.WriteString(l.w, b.String())
+}
+
+func formatValue(v any) string {
+	s := fmt.Sprintf("%v", v)
+	if strings.ContainsAny(s, " =\"") {
+		return fmt.Sprintf("%q", s)
+	}
+	return s
+}

@@ -1,0 +1,128 @@
+// Package obs is BeCAUSe's dependency-free observability layer: a metrics
+// registry with Prometheus text exposition, structured leveled logging, and
+// timed spans for pipeline stages. Every type treats its nil value as a
+// no-op, so instrumented code pays only a nil check when observability is
+// not wired up — library callers that never touch this package lose
+// nothing.
+//
+// The pipeline threads a single *Observer (logger + registry) through the
+// measurement stages (campaign, collection, labeling) and the inference
+// stages (MH sweeps, HMC trajectories, summarization, pinpointing). The
+// CLIs expose the registry over HTTP via Serve and render sampler progress
+// from Progress events.
+package obs
+
+import (
+	"strconv"
+	"time"
+)
+
+// Observer bundles a logger and a metrics registry — the instrumentation
+// context handed through the pipeline. The nil *Observer is a complete
+// no-op; every method is nil-safe.
+type Observer struct {
+	Logger  Logger
+	Metrics *Registry
+}
+
+// New returns an observer over the given logger (nil → Nop) and registry
+// (nil → metrics dropped).
+func New(logger Logger, metrics *Registry) *Observer {
+	if logger == nil {
+		logger = Nop()
+	}
+	return &Observer{Logger: logger, Metrics: metrics}
+}
+
+// Log emits a record through the attached logger, if any.
+func (o *Observer) Log(level Level, msg string, kv ...any) {
+	if o == nil || o.Logger == nil {
+		return
+	}
+	o.Logger.Log(level, msg, kv...)
+}
+
+// Enabled reports whether the attached logger emits at level.
+func (o *Observer) Enabled(level Level) bool {
+	return o != nil && o.Logger != nil && o.Logger.Enabled(level)
+}
+
+// Counter returns the named counter (nil handle when unobserved).
+func (o *Observer) Counter(name string, labels ...string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Counter(name, labels...)
+}
+
+// Gauge returns the named gauge (nil handle when unobserved).
+func (o *Observer) Gauge(name string, labels ...string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Gauge(name, labels...)
+}
+
+// Histogram returns the named histogram (nil handle when unobserved).
+func (o *Observer) Histogram(name string, buckets []float64, labels ...string) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Histogram(name, buckets, labels...)
+}
+
+// Span is a timed pipeline stage. Obtain one from StartSpan; End records
+// the elapsed time into the stage-duration histogram and logs at debug.
+// The nil span is a no-op.
+type Span struct {
+	obs   *Observer
+	stage string
+	start time.Time
+}
+
+// StartSpan begins timing a named pipeline stage.
+func (o *Observer) StartSpan(stage string) *Span {
+	if o == nil {
+		return nil
+	}
+	return &Span{obs: o, stage: stage, start: time.Now()}
+}
+
+// End finishes the span and returns its duration.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.obs.Histogram(MetricStageSeconds, nil, "stage", s.stage).Observe(d.Seconds())
+	s.obs.Log(LevelDebug, "stage done", "stage", s.stage, "seconds", d.Seconds())
+	return d
+}
+
+// Progress is one sampler progress event.
+type Progress struct {
+	// Stage is the sampler ("mh" or "hmc").
+	Stage string
+	// Chain is the chain index within a multi-chain ensemble.
+	Chain int
+	// Done and Total count sweeps (MH) or trajectories (HMC), burn-in
+	// included.
+	Done, Total int
+	// Accepted and Proposed are the running Metropolis decision counts.
+	Accepted, Proposed int
+}
+
+// AcceptanceRate returns Accepted/Proposed (0 before any proposal).
+func (p Progress) AcceptanceRate() float64 {
+	if p.Proposed == 0 {
+		return 0
+	}
+	return float64(p.Accepted) / float64(p.Proposed)
+}
+
+// ProgressFunc receives sampler progress events. Called synchronously from
+// the sampling loop: keep it fast.
+type ProgressFunc func(Progress)
+
+// ChainLabel renders a chain index as a metric label value.
+func ChainLabel(chain int) string { return strconv.Itoa(chain) }

@@ -3,7 +3,11 @@
 
 GO ?= go
 
-.PHONY: all build test tier1 vet race verify bench clean
+.PHONY: all build test tier1 vet race verify bench fuzz clean
+
+# Short fuzzing budget per target; raise for a real fuzzing session, e.g.
+#   make fuzz FUZZTIME=10m
+FUZZTIME ?= 15s
 
 all: tier1
 
@@ -19,8 +23,12 @@ tier1: build test
 vet:
 	$(GO) vet ./...
 
+# race runs the whole suite under the race detector, then stresses the
+# worker-pool and reproducibility tests twice over (-count=2 defeats the
+# test cache and doubles the interleavings the detector sees).
 race:
 	$(GO) test -race ./...
+	$(GO) test -race -count=2 ./internal/par ./internal/core ./internal/experiment
 
 # verify is the pre-merge gate: static analysis, the race detector and the
 # plain test suite.
@@ -28,6 +36,12 @@ verify: vet race tier1
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# fuzz gives each native fuzz target a short budget (the seed corpora plus
+# any saved crashers always run as part of `make test` regardless).
+fuzz:
+	$(GO) test ./internal/bgp -run=^$$ -fuzz='^FuzzDecodeUpdate$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/mrt -run=^$$ -fuzz='^FuzzParseTableDump$$' -fuzztime=$(FUZZTIME)
 
 clean:
 	$(GO) clean ./...

@@ -99,6 +99,11 @@ type Options struct {
 	// Chains runs this many independent MH chains (default 1); with two or
 	// more, per-AS Gelman-Rubin R-hat convergence diagnostics are reported.
 	Chains int
+	// Workers bounds how many chains run concurrently (every MH chain and
+	// the HMC run are independent tasks). 0 selects GOMAXPROCS; 1 forces
+	// sequential execution. Results are bit-identical at any worker count:
+	// each chain's RNG stream is derived from Seed before any chain starts.
+	Workers int
 
 	// HDPIMass is the credible-interval mass (default 0.95).
 	HDPIMass float64
@@ -269,6 +274,7 @@ func Infer(observations []PathObservation, opts Options) (*Result, error) {
 		PinpointThreshold: opts.PinpointThreshold,
 		MissRate:          opts.MissRate,
 		Chains:            opts.Chains,
+		Workers:           opts.Workers,
 		DisableMH:         opts.DisableMH,
 		DisableHMC:        opts.DisableHMC,
 		MH:                core.MHConfig{Sweeps: opts.MHSweeps, BurnIn: opts.MHBurnIn},

@@ -10,6 +10,7 @@
 package because_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -511,5 +512,36 @@ func BenchmarkBeaconExpansion(b *testing.B) {
 		if len(evs) == 0 {
 			b.Fatal("no events")
 		}
+	}
+}
+
+// BenchmarkInfer measures the parallel multi-chain engine: 4 MH chains over
+// the 1-minute campaign dataset, at 1 worker (sequential baseline) and at 4
+// workers. On a 4+ core machine the workers=4 case should run ≥2x faster;
+// by the engine's determinism guarantee both produce bit-identical results,
+// so the speedup is free. (On fewer cores the pool degrades gracefully to
+// the available parallelism.)
+func BenchmarkInfer(b *testing.B) {
+	run := benchRun(b, time.Minute)
+	ds, err := run.Dataset()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("chains=4/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := core.Config{
+					Seed:       42,
+					Chains:     4,
+					Workers:    workers,
+					DisableHMC: true,
+					MH:         core.MHConfig{Sweeps: 400, BurnIn: 100},
+				}
+				if _, err := core.Infer(ds, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

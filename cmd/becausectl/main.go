@@ -11,10 +11,14 @@
 //
 //	becausectl [-in paths.json] [-seed 0] [-prior sparse|uniform|centered]
 //	           [-flagged-only] [-mh-sweeps N] [-hmc-iters N]
-//	           [-chains N] [-miss-rate P]
+//	           [-chains N] [-workers N] [-miss-rate P]
 //	           [-metrics-addr :8080] [-log-level info] [-progress]
 //
 // With no -in, the dataset is read from standard input.
+//
+// -workers runs the chains concurrently on that many goroutines (0 = all
+// cores). The output is bit-identical at every worker count; the flag only
+// changes the wall-clock.
 //
 // Observability: -metrics-addr serves Prometheus metrics on /metrics (and
 // pprof on /debug/pprof/) for the duration of the run; -log-level enables
@@ -52,6 +56,7 @@ type options struct {
 	mhSweeps    int
 	hmcIters    int
 	chains      int
+	workers     int
 	missRate    float64
 	progress    bool
 	metricsAddr string
@@ -68,6 +73,7 @@ func main() {
 	flag.IntVar(&o.mhSweeps, "mh-sweeps", 0, "Metropolis-Hastings sweeps (0 = default)")
 	flag.IntVar(&o.hmcIters, "hmc-iters", 0, "HMC iterations (0 = default)")
 	flag.IntVar(&o.chains, "chains", 1, "independent MH chains; 2+ adds R-hat diagnostics")
+	flag.IntVar(&o.workers, "workers", 0, "chains run concurrently on this many workers (0 = all cores, 1 = sequential); results are identical at any setting")
 	flag.Float64Var(&o.missRate, "miss-rate", 0, "measurement-error rate for the § 7.2 likelihood (0 = off)")
 	flag.BoolVar(&o.progress, "progress", false, "render live sampler progress on stderr")
 	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve Prometheus /metrics and pprof on this address (e.g. :8080)")
@@ -131,6 +137,7 @@ func run(o options, observer *obs.Observer, stdout io.Writer) error {
 		Seed:     o.seed,
 		MHSweeps: o.mhSweeps, HMCIterations: o.hmcIters,
 		Chains:   o.chains,
+		Workers:  o.workers,
 		MissRate: o.missRate,
 		Obs:      observer,
 	}

@@ -6,7 +6,12 @@
 // Usage:
 //
 //	experiments [-seed N] [-pairs N] [-scale small|default] [-only fig12,tab4]
-//	            [-metrics-addr :8080] [-log-level info] [-progress]
+//	            [-workers N] [-metrics-addr :8080] [-log-level info] [-progress]
+//
+// -workers sizes the pool that fans out the per-interval campaigns of the
+// multi-interval sweeps (Figure 12/13) and the sampler chains inside every
+// inference (0 = all cores). All tables and figures are bit-identical at
+// any worker count.
 //
 // Observability: -metrics-addr serves Prometheus metrics on /metrics (and
 // pprof on /debug/pprof/) while the suite runs; -log-level enables
@@ -29,6 +34,7 @@ import (
 type options struct {
 	seed        uint64
 	pairs       int
+	workers     int
 	scale       string
 	only        string
 	progress    bool
@@ -40,6 +46,7 @@ func main() {
 	var o options
 	flag.Uint64Var(&o.seed, "seed", 2020, "scenario seed")
 	flag.IntVar(&o.pairs, "pairs", 3, "Burst-Break pairs per campaign")
+	flag.IntVar(&o.workers, "workers", 0, "worker pool size for campaign/chain fan-out (0 = all cores, 1 = sequential); output is identical at any setting")
 	flag.StringVar(&o.scale, "scale", "default", "scenario scale: small or default")
 	flag.StringVar(&o.only, "only", "", "comma-separated experiment ids (default: all)")
 	flag.BoolVar(&o.progress, "progress", false, "print per-experiment durations on stderr")
@@ -85,6 +92,7 @@ func run(o options, observer *obs.Observer) error {
 	seed, pairs, scale, only := o.seed, o.pairs, o.scale, o.only
 	cfg := experiment.DefaultScenario()
 	cfg.Seed = seed
+	cfg.Workers = o.workers
 	switch scale {
 	case "default":
 	case "small":

@@ -7,7 +7,10 @@
 // Usage:
 //
 //	rfdbeacon [-out DIR] [-interval 1m] [-pairs 3] [-seed 2020]
-//	          [-metrics-addr :8080] [-log-level info] [-progress]
+//	          [-workers N] [-metrics-addr :8080] [-log-level info] [-progress]
+//
+// -workers writes the per-project MRT archives concurrently (0 = all
+// cores); the produced files are byte-identical at any worker count.
 //
 // Observability: -metrics-addr serves Prometheus metrics on /metrics (and
 // pprof on /debug/pprof/) while the campaign runs; -log-level enables
@@ -27,6 +30,7 @@ import (
 	"because/internal/label"
 	"because/internal/mrt"
 	"because/internal/obs"
+	"because/internal/par"
 	"because/internal/topology"
 )
 
@@ -35,6 +39,7 @@ type options struct {
 	interval    time.Duration
 	pairs       int
 	seed        uint64
+	workers     int
 	topoFile    string
 	progress    bool
 	metricsAddr string
@@ -47,6 +52,7 @@ func main() {
 	flag.DurationVar(&o.interval, "interval", time.Minute, "beacon update interval during Bursts")
 	flag.IntVar(&o.pairs, "pairs", 3, "number of Burst-Break pairs")
 	flag.Uint64Var(&o.seed, "seed", 2020, "scenario seed")
+	flag.IntVar(&o.workers, "workers", 0, "write the per-project MRT archives on this many workers (0 = all cores); output files are identical at any setting")
 	flag.StringVar(&o.topoFile, "topology", "", "CAIDA as-rel file to run over (default: generate synthetically)")
 	flag.BoolVar(&o.progress, "progress", false, "print per-stage timing lines on stderr")
 	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve Prometheus /metrics and pprof on this address (e.g. :8080)")
@@ -132,32 +138,47 @@ func run(o options, observer *obs.Observer) error {
 		run.Campaign.Name, run.UpdatesSent, len(run.Entries), len(run.Measurements))
 
 	archiveStart := time.Now()
-	// One MRT dump per project, like the real archives.
+	// One MRT dump per project, like the real archives. The projects'
+	// files are independent, so they are written on the worker pool;
+	// summary lines are collected per slot and printed in project order so
+	// the output does not depend on scheduling.
 	byProject := make(map[collector.Project][]collector.Entry)
 	for _, e := range run.Entries {
 		byProject[e.VP.Project] = append(byProject[e.VP.Project], e)
 	}
-	for _, project := range collector.Projects {
-		entries := byProject[project]
-		name := filepath.Join(o.out, fmt.Sprintf("updates.%s.%s.mrt", project, run.Campaign.Name))
-		f, err := os.Create(name)
-		if err != nil {
-			return err
-		}
-		w := mrt.NewWriter(f)
-		wrote := 0
-		for _, e := range entries {
-			if err := w.WriteUpdate(e.Exported, e.VP.AS, 64999, e.VP.Addr(),
-				e.VP.Addr(), e.Update); err != nil {
-				f.Close()
-				return fmt.Errorf("writing %s: %w", name, err)
+	pool := par.NewGroup(o.workers, observer, "archive")
+	wroteLines := make([]string, len(collector.Projects))
+	for i, project := range collector.Projects {
+		i, project := i, project
+		pool.Go(func() error {
+			entries := byProject[project]
+			name := filepath.Join(o.out, fmt.Sprintf("updates.%s.%s.mrt", project, run.Campaign.Name))
+			f, err := os.Create(name)
+			if err != nil {
+				return err
 			}
-			wrote++
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s: %d records\n", name, wrote)
+			w := mrt.NewWriter(f)
+			wrote := 0
+			for _, e := range entries {
+				if err := w.WriteUpdate(e.Exported, e.VP.AS, 64999, e.VP.Addr(),
+					e.VP.Addr(), e.Update); err != nil {
+					f.Close()
+					return fmt.Errorf("writing %s: %w", name, err)
+				}
+				wrote++
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			wroteLines[i] = fmt.Sprintf("wrote %s: %d records", name, wrote)
+			return nil
+		})
+	}
+	if err := pool.Wait(); err != nil {
+		return err
+	}
+	for _, line := range wroteLines {
+		fmt.Println(line)
 	}
 
 	// A final RIB snapshot, reconstructed from the updates like real

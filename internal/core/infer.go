@@ -3,9 +3,13 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"because/internal/bgp"
 	"because/internal/obs"
+	"because/internal/par"
 	"because/internal/stats"
 )
 
@@ -35,6 +39,15 @@ type Config struct {
 	MissRate float64
 	// Seed makes the run reproducible.
 	Seed uint64
+	// Workers bounds how many chains run concurrently: every MH chain and
+	// the HMC chain are independent tasks executed on a pool of this many
+	// goroutines. 0 (the default) selects GOMAXPROCS; 1 recovers strictly
+	// sequential execution. The result is bit-identical at every worker
+	// count — each chain's RNG stream is split off deterministically
+	// before any chain starts (see stats.RNG.Split), and chains land in
+	// fixed result slots — an invariant pinned by the reproducibility
+	// harness in reproducibility_test.go.
+	Workers int
 
 	// Obs attaches metrics and structured logging to every stage of the
 	// run: the samplers report acceptance rates, sweep counters,
@@ -138,6 +151,7 @@ func Infer(ds *Dataset, cfg Config) (*Result, error) {
 	// Thread the observability context into the samplers.
 	cfg.MH.Obs, cfg.MH.Progress, cfg.MH.ProgressEvery = cfg.Obs, cfg.Progress, cfg.ProgressEvery
 	cfg.HMC.Obs, cfg.HMC.Progress, cfg.HMC.ProgressEvery = cfg.Obs, cfg.Progress, cfg.ProgressEvery
+	workers := par.Workers(cfg.Workers)
 	o := cfg.Obs
 	if o != nil {
 		o.Counter(obs.MetricInferRuns).Inc()
@@ -145,32 +159,107 @@ func Infer(ds *Dataset, cfg Config) (*Result, error) {
 		o.Gauge(obs.MetricInferPaths).Set(float64(ds.NumPaths()))
 		o.Log(obs.LevelInfo, "inference started",
 			"paths", ds.NumPaths(), "nodes", ds.NumNodes(), "chains", cfg.Chains,
-			"mh", !cfg.DisableMH, "hmc", !cfg.DisableHMC, "miss_rate", cfg.MissRate)
+			"mh", !cfg.DisableMH, "hmc", !cfg.DisableHMC, "miss_rate", cfg.MissRate,
+			"workers", workers)
 	}
-	rng := stats.NewRNG(cfg.Seed)
-	var chains []*Chain
-	var mhChains []*Chain
-	if !cfg.DisableMH {
-		span := o.StartSpan("mh")
-		for k := 0; k < cfg.Chains; k++ {
-			cfg.MH.Chain = k
-			c, err := RunMH(ds, cfg.Prior, cfg.MH, rng.Split())
-			if err != nil {
-				return nil, fmt.Errorf("core: MH: %w", err)
-			}
-			chains = append(chains, c)
-			mhChains = append(mhChains, c)
+	// Progress callbacks may now arrive from several chain goroutines;
+	// serialise them so user callbacks keep their single-threaded contract.
+	if cfg.Progress != nil {
+		var mu sync.Mutex
+		report := cfg.Progress
+		serialized := func(p obs.Progress) {
+			mu.Lock()
+			defer mu.Unlock()
+			report(p)
 		}
-		span.End()
+		cfg.MH.Progress, cfg.HMC.Progress = serialized, serialized
+	}
+
+	// Pre-split one RNG stream per chain, in a fixed order, BEFORE any
+	// chain starts: stream assignment depends only on the seed and the
+	// configuration, never on scheduling. Each chain then writes into its
+	// pre-assigned slot, so the assembled Chains slice — and everything
+	// derived from it — is bit-identical at every worker count.
+	rng := stats.NewRNG(cfg.Seed)
+	type chainJob struct {
+		method string
+		chain  int // MH chain index (0 for HMC)
+		rng    *stats.RNG
+	}
+	var jobs []chainJob
+	if !cfg.DisableMH {
+		for k := 0; k < cfg.Chains; k++ {
+			jobs = append(jobs, chainJob{method: "mh", chain: k, rng: rng.Split()})
+		}
 	}
 	if !cfg.DisableHMC {
-		span := o.StartSpan("hmc")
-		c, err := RunHMC(ds, cfg.Prior, cfg.HMC, rng.Split())
-		if err != nil {
-			return nil, fmt.Errorf("core: HMC: %w", err)
+		jobs = append(jobs, chainJob{method: "hmc", rng: rng.Split()})
+	}
+
+	// Spans measure each sampler stage's wall time: started before the
+	// fan-out, ended by whichever worker finishes the stage's last chain.
+	var mhLeft, hmcLeft atomic.Int64
+	var mhSpan, hmcSpan *obs.Span
+	if !cfg.DisableMH {
+		mhLeft.Store(int64(cfg.Chains))
+		mhSpan = o.StartSpan("mh")
+	}
+	if !cfg.DisableHMC {
+		hmcLeft.Store(1)
+		hmcSpan = o.StartSpan("hmc")
+	}
+
+	pool := par.NewGroup(workers, o, "infer")
+	chains := make([]*Chain, len(jobs))
+	errs := make([]error, len(jobs))
+	for i, job := range jobs {
+		i, job := i, job
+		pool.Go(func() error {
+			start := time.Now()
+			var c *Chain
+			var err error
+			switch job.method {
+			case "mh":
+				mhCfg := cfg.MH
+				mhCfg.Chain = job.chain
+				c, err = RunMH(ds, cfg.Prior, mhCfg, job.rng)
+			default:
+				c, err = RunHMC(ds, cfg.Prior, cfg.HMC, job.rng)
+			}
+			chains[i], errs[i] = c, err
+			if o != nil {
+				o.Histogram(obs.MetricChainSeconds, nil, "method", job.method).
+					Observe(time.Since(start).Seconds())
+			}
+			switch job.method {
+			case "mh":
+				if mhLeft.Add(-1) == 0 {
+					mhSpan.End()
+				}
+			default:
+				if hmcLeft.Add(-1) == 0 {
+					hmcSpan.End()
+				}
+			}
+			return err
+		})
+	}
+	if err := pool.Wait(); err != nil {
+		// Report the first failure in chain order, not completion order,
+		// so the error too is independent of scheduling.
+		for i, jobErr := range errs {
+			if jobErr != nil {
+				if jobs[i].method == "mh" {
+					return nil, fmt.Errorf("core: MH: %w", jobErr)
+				}
+				return nil, fmt.Errorf("core: HMC: %w", jobErr)
+			}
 		}
-		chains = append(chains, c)
-		span.End()
+		return nil, err
+	}
+	var mhChains []*Chain
+	if !cfg.DisableMH {
+		mhChains = chains[:cfg.Chains]
 	}
 	span := o.StartSpan("summarize")
 	summaries, err := Summarize(ds, chains, cfg.HDPIMass)
@@ -195,12 +284,16 @@ func Infer(ds *Dataset, cfg Config) (*Result, error) {
 		}
 	}
 	if o != nil && len(chains) > 0 {
-		// Minimum per-node effective sample size of the first chain — the
-		// mixing-quality floor a dashboard should alert on.
+		// Minimum per-node effective sample size across ALL chains — the
+		// mixing-quality floor a dashboard should alert on. Taking the min
+		// over every chain (not just the first) means one badly mixing
+		// chain in an ensemble cannot hide behind its siblings.
 		essMin := math.Inf(1)
-		for i := 0; i < ds.NumNodes(); i++ {
-			if e := ESS(chains[0].Marginal(i)); e < essMin {
-				essMin = e
+		for _, c := range chains {
+			for i := 0; i < ds.NumNodes(); i++ {
+				if e := ESS(c.Marginal(i)); e < essMin {
+					essMin = e
+				}
 			}
 		}
 		if !math.IsInf(essMin, 1) {

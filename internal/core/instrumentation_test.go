@@ -168,3 +168,80 @@ func TestHMCDivergenceCounterMatchesChain(t *testing.T) {
 		t.Errorf("divergence counter = %g, chain.Divergent = %d", got, c.Divergent)
 	}
 }
+
+// TestInferESSGaugeMinAcrossAllChains: the ESS floor gauge must be the
+// minimum over EVERY chain's per-node ESS, not just the first chain's —
+// one badly mixing chain in the ensemble has to drag the gauge down.
+func TestInferESSGaugeMinAcrossAllChains(t *testing.T) {
+	ds := plantedDataset(t)
+	observer := obs.New(nil, obs.NewRegistry())
+	// Seed 5 is chosen so the ensemble's ESS floor lives in a chain other
+	// than chain 0 — a chains[0]-only implementation reports a different
+	// (higher) gauge value and fails this test.
+	cfg := Config{
+		Seed:   5,
+		Chains: 3,
+		MH:     MHConfig{Sweeps: 200, BurnIn: 50},
+		HMC:    HMCConfig{Iterations: 80, BurnIn: 20},
+		Obs:    observer,
+	}
+	res, err := Infer(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Inf(1)
+	firstChainMin := math.Inf(1)
+	for k, c := range res.Chains {
+		for i := 0; i < ds.NumNodes(); i++ {
+			e := ESS(c.Marginal(i))
+			if e < want {
+				want = e
+			}
+			if k == 0 && e < firstChainMin {
+				firstChainMin = e
+			}
+		}
+	}
+	got := observer.Metrics.Snapshot()[obs.MetricESSMin]
+	if got != want {
+		t.Errorf("ess gauge = %g, want min over all chains %g", got, want)
+	}
+	// Guard the regression this test exists for: the global floor must be
+	// strictly below chain 0's own floor, so a chains[0]-only
+	// implementation cannot pass the gauge check above by coincidence.
+	if !(want < firstChainMin) {
+		t.Errorf("global ESS floor %g not below chain 0's floor %g; pick a different seed", want, firstChainMin)
+	}
+}
+
+// TestInferPoolMetrics: a multi-chain run must account for every chain on
+// the "infer" pool (task counter) and leave no worker marked busy, and the
+// per-chain duration histogram must see one observation per chain.
+func TestInferPoolMetrics(t *testing.T) {
+	ds := plantedDataset(t)
+	observer := obs.New(nil, obs.NewRegistry())
+	cfg := Config{
+		Seed:    3,
+		Chains:  2,
+		Workers: 2,
+		MH:      MHConfig{Sweeps: 100, BurnIn: 25},
+		HMC:     HMCConfig{Iterations: 40, BurnIn: 10},
+		Obs:     observer,
+	}
+	if _, err := Infer(ds, cfg); err != nil {
+		t.Fatal(err)
+	}
+	snap := observer.Metrics.Snapshot()
+	if got := snap[obs.MetricPoolTasks+`{pool="infer"}`]; got != 3 {
+		t.Errorf("pool task counter = %g, want 3 (2 MH chains + 1 HMC)", got)
+	}
+	if got := snap[obs.MetricPoolBusy+`{pool="infer"}`]; got != 0 {
+		t.Errorf("busy gauge after Infer = %g, want 0", got)
+	}
+	if got := snap[obs.MetricChainSeconds+`_count{method="mh"}`]; got != 2 {
+		t.Errorf("mh chain histogram count = %g, want 2", got)
+	}
+	if got := snap[obs.MetricChainSeconds+`_count{method="hmc"}`]; got != 1 {
+		t.Errorf("hmc chain histogram count = %g, want 1", got)
+	}
+}

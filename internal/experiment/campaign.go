@@ -215,6 +215,7 @@ func (r *Run) Infer() (*core.Result, *core.Dataset, error) {
 	}
 	cfg := InferConfig(r.Scenario.Config.Seed + 7)
 	cfg.Obs = r.Scenario.Obs
+	cfg.Workers = r.Scenario.Config.Workers
 	res, err := core.Infer(ds, cfg)
 	if err != nil {
 		return nil, nil, err

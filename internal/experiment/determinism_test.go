@@ -1,0 +1,145 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+	"time"
+)
+
+// smallSuiteConfig is the golden-test world: the smallScenario parameters,
+// expressed as a config so two independent suites can be built from it.
+func smallSuiteConfig() ScenarioConfig {
+	cfg := DefaultScenario()
+	cfg.Seed = 11
+	cfg.Topology.Transit = 30
+	cfg.Topology.Stubs = 60
+	cfg.Sites = 3
+	cfg.VPsPerProject = 4
+	cfg.RFDShare = 0.5
+	cfg.CustomerOnlyDampers = 1
+	return cfg
+}
+
+// serializeResult renders an inference outcome to canonical bytes: gob of
+// every exported field, chains included (gob, unlike JSON, round-trips the
+// NaN R-hats of single-chain runs). Two runs of the pipeline are considered
+// identical exactly when these bytes match.
+func serializeResult(t *testing.T, s *Suite, intervals []time.Duration) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	for _, iv := range intervals {
+		res, ds, err := s.Inference(iv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Encode(res.Summaries); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Encode(res.Pinpointed); err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range res.Chains {
+			if err := enc.Encode(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := enc.Encode(ds.Nodes()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestPipelineGoldenDeterminism runs the full pipeline — world build,
+// campaign simulation, labeling, inference — twice from scratch and
+// byte-compares the serialized results: the repository's bit-for-bit
+// reproduction guarantee, end to end.
+func TestPipelineGoldenDeterminism(t *testing.T) {
+	intervals := []time.Duration{time.Minute}
+	build := func() []byte {
+		s, err := NewSuite(smallSuiteConfig(), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return serializeResult(t, s, intervals)
+	}
+	first, second := build(), build()
+	if len(first) == 0 {
+		t.Fatal("serialized result is empty")
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("two identical pipeline runs produced different bytes (%d vs %d)", len(first), len(second))
+	}
+}
+
+// TestSuitePrewarmParallelDeterminism: fanning the intervals out over the
+// worker pool must yield byte-identical results to the strictly sequential
+// suite — the experiment-harness analogue of the core reproducibility
+// harness. Run with -race to also certify the suite's singleflight caching.
+func TestSuitePrewarmParallelDeterminism(t *testing.T) {
+	intervals := []time.Duration{1 * time.Minute, 5 * time.Minute}
+
+	seqCfg := smallSuiteConfig()
+	seqCfg.Workers = 1
+	seq, err := NewSuite(seqCfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serializeResult(t, seq, intervals)
+
+	parCfg := smallSuiteConfig()
+	parCfg.Workers = 4
+	parallel, err := NewSuite(parCfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.Prewarm(intervals); err != nil {
+		t.Fatal(err)
+	}
+	got := serializeResult(t, parallel, intervals)
+
+	if !bytes.Equal(want, got) {
+		t.Fatalf("parallel prewarm (workers=4) diverged from sequential run (%d vs %d bytes)", len(want), len(got))
+	}
+}
+
+// TestSuiteConcurrentAccessSharedIntervals hammers the suite's singleflight
+// cache: many goroutines requesting overlapping intervals must each get the
+// same cached objects, with every campaign and inference computed once.
+func TestSuiteConcurrentAccessSharedIntervals(t *testing.T) {
+	cfg := smallSuiteConfig()
+	cfg.Workers = 4
+	s, err := NewSuite(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 8
+	runs := make([]*Run, callers)
+	errCh := make(chan error, callers)
+	done := make(chan int, callers)
+	for i := 0; i < callers; i++ {
+		i := i
+		go func() {
+			run, err := s.IntervalRun(time.Minute)
+			runs[i] = run
+			if err != nil {
+				errCh <- err
+			}
+			done <- i
+		}()
+	}
+	for i := 0; i < callers; i++ {
+		<-done
+	}
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	for i := 1; i < callers; i++ {
+		if runs[i] != runs[0] {
+			t.Fatalf("caller %d got a different *Run than caller 0: singleflight recomputed", i)
+		}
+	}
+}

@@ -109,6 +109,11 @@ func Fig12IntervalSweep(s *Suite, intervals []time.Duration) (*Fig12Result, erro
 	if len(intervals) == 0 {
 		intervals = PaperIntervals
 	}
+	// Intervals are independent; fill the suite caches on the worker pool
+	// before the sequential aggregation below reads them.
+	if err := s.Prewarm(intervals); err != nil {
+		return nil, err
+	}
 	// Common measured population.
 	var common map[bgp.ASN]bool
 	for _, iv := range intervals {
@@ -180,6 +185,11 @@ type Fig13Result struct {
 func Fig13RDeltaCDF(s *Suite, intervals []time.Duration) (*Fig13Result, error) {
 	if len(intervals) == 0 {
 		intervals = PaperIntervals
+	}
+	// Figure 13 is computed from raw measurements: warm only the campaign
+	// runs, not the (much more expensive) inferences.
+	if err := s.PrewarmRuns(intervals); err != nil {
+		return nil, err
 	}
 	res := &Fig13Result{
 		Series:         make(map[time.Duration][]float64),

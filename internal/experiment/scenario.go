@@ -98,6 +98,14 @@ type ScenarioConfig struct {
 	// ChurnMeanInterval is the mean time between flips of a background
 	// prefix (default 30 min when BackgroundPrefixes > 0).
 	ChurnMeanInterval time.Duration
+	// Workers bounds the concurrency of everything the harness fans out:
+	// the chains inside each inference run (core.Config.Workers) and the
+	// per-interval campaigns of Suite.Prewarm. 0 selects GOMAXPROCS; 1
+	// recovers sequential execution. Results are identical at any setting
+	// — the tomography engine pre-splits RNG streams deterministically
+	// (see core.Config.Workers) and each campaign's stream depends only on
+	// the scenario seed and campaign name.
+	Workers int
 }
 
 // DefaultScenario returns the standard experiment profile: large enough to

@@ -3,10 +3,12 @@ package experiment
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"because/internal/beacon"
 	"because/internal/core"
+	"because/internal/par"
 )
 
 // PaperIntervals are the six beacon update intervals of the study
@@ -19,17 +21,36 @@ var PaperIntervals = []time.Duration{
 // Suite caches the scenario, campaign runs and inference results so the
 // table/figure generators can share them — running the 1-minute campaign
 // once instead of once per figure.
+//
+// Suite is safe for concurrent use: each interval's campaign and inference
+// are computed exactly once (duplicate callers wait for the first), which
+// is what lets Prewarm fan intervals out over a worker pool while the
+// figure generators keep their simple sequential call sites. Results are
+// deterministic regardless of concurrency — each campaign derives its own
+// RNG stream from the scenario seed and the campaign name alone.
 type Suite struct {
 	cfg      ScenarioConfig
 	pairs    int
 	scenario *Scenario
-	runs     map[time.Duration]*Run
-	infers   map[time.Duration]*inference
+
+	mu     sync.Mutex
+	runs   map[time.Duration]*runOnce
+	infers map[time.Duration]*inferOnce
 }
 
-type inference struct {
-	res *core.Result
-	ds  *core.Dataset
+// runOnce / inferOnce are singleflight slots: the first caller computes
+// under once, everyone else blocks on it and reads the shared outcome.
+type runOnce struct {
+	once sync.Once
+	run  *Run
+	err  error
+}
+
+type inferOnce struct {
+	once sync.Once
+	res  *core.Result
+	ds   *core.Dataset
+	err  error
 }
 
 // NewSuite builds the scenario once. pairs is the number of Burst-Break
@@ -46,8 +67,8 @@ func NewSuite(cfg ScenarioConfig, pairs int) (*Suite, error) {
 		cfg:      cfg,
 		pairs:    pairs,
 		scenario: s,
-		runs:     make(map[time.Duration]*Run),
-		infers:   make(map[time.Duration]*inference),
+		runs:     make(map[time.Duration]*runOnce),
+		infers:   make(map[time.Duration]*inferOnce),
 	}, nil
 }
 
@@ -58,33 +79,87 @@ func (s *Suite) Scenario() *Scenario { return s.scenario }
 func (s *Suite) Pairs() int { return s.pairs }
 
 // IntervalRun returns the (cached) campaign run for one update interval.
+// Concurrent callers for the same interval share one computation.
 func (s *Suite) IntervalRun(interval time.Duration) (*Run, error) {
-	if run, ok := s.runs[interval]; ok {
-		return run, nil
+	s.mu.Lock()
+	slot, ok := s.runs[interval]
+	if !ok {
+		slot = &runOnce{}
+		s.runs[interval] = slot
 	}
-	run, err := s.scenario.RunCampaign(IntervalCampaign(interval, s.pairs))
-	if err != nil {
-		return nil, err
-	}
-	s.runs[interval] = run
-	return run, nil
+	s.mu.Unlock()
+	slot.once.Do(func() {
+		slot.run, slot.err = s.scenario.RunCampaign(IntervalCampaign(interval, s.pairs))
+	})
+	return slot.run, slot.err
 }
 
 // Inference returns the (cached) BeCAUSe result for one interval.
+// Concurrent callers for the same interval share one computation.
 func (s *Suite) Inference(interval time.Duration) (*core.Result, *core.Dataset, error) {
-	if inf, ok := s.infers[interval]; ok {
-		return inf.res, inf.ds, nil
+	s.mu.Lock()
+	slot, ok := s.infers[interval]
+	if !ok {
+		slot = &inferOnce{}
+		s.infers[interval] = slot
 	}
-	run, err := s.IntervalRun(interval)
-	if err != nil {
-		return nil, nil, err
+	s.mu.Unlock()
+	slot.once.Do(func() {
+		var run *Run
+		if run, slot.err = s.IntervalRun(interval); slot.err != nil {
+			return
+		}
+		slot.res, slot.ds, slot.err = run.Infer()
+	})
+	return slot.res, slot.ds, slot.err
+}
+
+// Prewarm computes the campaign run and inference for every interval on a
+// bounded worker pool (ScenarioConfig.Workers; 0 selects GOMAXPROCS) and
+// fills the suite's caches, so subsequent generator calls hit warm entries.
+// The multi-interval sweeps (Figure 12/13) call it first: intervals are
+// independent worlds, the natural fan-out axis of the experiment harness.
+// Errors are reported deterministically — the first failing interval in
+// the given order wins, not the first to fail on the clock.
+func (s *Suite) Prewarm(intervals []time.Duration) error {
+	return s.prewarm(intervals, func(iv time.Duration) error {
+		_, _, err := s.Inference(iv)
+		return err
+	})
+}
+
+// PrewarmRuns is Prewarm without the inference stage: it fans out only the
+// campaign simulations. The distribution figures (e.g. Figure 13) read raw
+// measurements and never need the sampler output.
+func (s *Suite) PrewarmRuns(intervals []time.Duration) error {
+	return s.prewarm(intervals, func(iv time.Duration) error {
+		_, err := s.IntervalRun(iv)
+		return err
+	})
+}
+
+func (s *Suite) prewarm(intervals []time.Duration, warm func(time.Duration) error) error {
+	if len(intervals) == 0 {
+		intervals = PaperIntervals
 	}
-	res, ds, err := run.Infer()
-	if err != nil {
-		return nil, nil, err
+	pool := par.NewGroup(s.cfg.Workers, s.scenario.Obs, "experiments")
+	errs := make([]error, len(intervals))
+	for i, iv := range intervals {
+		i, iv := i, iv
+		pool.Go(func() error {
+			errs[i] = warm(iv)
+			return errs[i]
+		})
 	}
-	s.infers[interval] = &inference{res: res, ds: ds}
-	return res, ds, nil
+	if err := pool.Wait(); err != nil {
+		for _, e := range errs {
+			if e != nil {
+				return e
+			}
+		}
+		return err
+	}
+	return nil
 }
 
 // Campaign runs an arbitrary multi-interval campaign (uncached).

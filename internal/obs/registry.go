@@ -31,6 +31,17 @@ const (
 	// "pinpoint"|"label"|"campaign".
 	MetricStageSeconds = "because_stage_duration_seconds"
 
+	// Worker-pool metrics, labeled pool="infer"|"campaigns"|"experiments"|
+	// "archive". Busy is the number of tasks currently executing; Tasks
+	// counts completed tasks.
+	MetricPoolBusy  = "because_pool_busy_workers"
+	MetricPoolTasks = "because_pool_tasks_total"
+
+	// Per-chain sampler wall time, labeled method="mh"|"hmc" — one
+	// observation per chain per inference run, so tail latency across an
+	// ensemble is visible even when chains run concurrently.
+	MetricChainSeconds = "because_chain_duration_seconds"
+
 	// Measurement pipeline, labeled project="ris"|"routeviews"|"isolario".
 	MetricCollectorUpdates = "because_collector_updates_total"
 	MetricLabelPaths       = "because_label_paths_total"

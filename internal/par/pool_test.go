@@ -1,0 +1,151 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"because/internal/obs"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}
+
+func TestGroupRunsEveryTask(t *testing.T) {
+	g := NewGroup(3, nil, "test")
+	var n atomic.Int64
+	for i := 0; i < 100; i++ {
+		g.Go(func() error {
+			n.Add(1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 100 {
+		t.Errorf("ran %d tasks, want 100", n.Load())
+	}
+}
+
+func TestGroupBoundsConcurrency(t *testing.T) {
+	const limit = 4
+	g := NewGroup(limit, nil, "test")
+	var cur, max atomic.Int64
+	for i := 0; i < 64; i++ {
+		g.Go(func() error {
+			c := cur.Add(1)
+			for {
+				m := max.Load()
+				if c <= m || max.CompareAndSwap(m, c) {
+					break
+				}
+			}
+			runtime.Gosched()
+			cur.Add(-1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if max.Load() > limit {
+		t.Errorf("observed %d concurrent tasks, limit %d", max.Load(), limit)
+	}
+}
+
+func TestGroupFirstErrorWinsAndSkipsRest(t *testing.T) {
+	boom := errors.New("boom")
+	g := NewGroup(1, nil, "test")
+	var ran atomic.Int64
+	g.Go(func() error { ran.Add(1); return boom })
+	// With one worker the failure is recorded before later submissions
+	// acquire the slot, so they must be skipped.
+	for i := 0; i < 10; i++ {
+		g.Go(func() error { ran.Add(1); return nil })
+	}
+	if err := g.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want boom", err)
+	}
+	if ran.Load() != 1 {
+		t.Errorf("ran %d tasks after failure, want 1", ran.Load())
+	}
+}
+
+func TestGroupPoolMetrics(t *testing.T) {
+	observer := obs.New(nil, obs.NewRegistry())
+	g := NewGroup(2, observer, "unit")
+	for i := 0; i < 9; i++ {
+		g.Go(func() error { return nil })
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	snap := observer.Metrics.Snapshot()
+	if got := snap[obs.MetricPoolTasks+`{pool="unit"}`]; got != 9 {
+		t.Errorf("task counter = %g, want 9", got)
+	}
+	if got := snap[obs.MetricPoolBusy+`{pool="unit"}`]; got != 0 {
+		t.Errorf("busy gauge after Wait = %g, want 0", got)
+	}
+}
+
+// TestGroupStress hammers the pool from many submitters under -race: tasks
+// write to disjoint slots, the canonical usage pattern of core.Infer.
+func TestGroupStress(t *testing.T) {
+	const tasks = 400
+	g := NewGroup(8, obs.New(nil, obs.NewRegistry()), "stress")
+	results := make([]int, tasks)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := w; i < tasks; i += 4 {
+				i := i
+				g.Go(func() error {
+					results[i] = i * i
+					return nil
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range results {
+		if v != i*i {
+			t.Fatalf("slot %d = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestGroupErrorFromConcurrentTasks(t *testing.T) {
+	g := NewGroup(8, nil, "test")
+	for i := 0; i < 32; i++ {
+		i := i
+		g.Go(func() error {
+			if i%2 == 1 {
+				return fmt.Errorf("task %d", i)
+			}
+			return nil
+		})
+	}
+	if err := g.Wait(); err == nil {
+		t.Fatal("Wait returned nil despite failing tasks")
+	}
+}

@@ -19,6 +19,20 @@ import "math"
 // EXPERIMENTS.md depend on exact reproducibility.
 type RNG struct {
 	s [4]uint64
+	// splitKey is fixed at construction and seeds every child stream;
+	// splits counts Split calls. Together they make Split a pure function
+	// of (construction seed, split ordinal) — see Split.
+	splitKey uint64
+	splits   uint64
+}
+
+// splitmix64 advances sm and returns the next splitmix64 output.
+func splitmix64(sm *uint64) uint64 {
+	*sm += 0x9e3779b97f4a7c15
+	z := *sm
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // NewRNG returns a generator seeded from seed using splitmix64 so that
@@ -27,20 +41,29 @@ func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
 	sm := seed
 	for i := range r.s {
-		sm += 0x9e3779b97f4a7c15
-		z := sm
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		r.s[i] = z ^ (z >> 31)
+		r.s[i] = splitmix64(&sm)
 	}
+	r.splitKey = splitmix64(&sm)
 	return r
 }
 
 // Split derives an independent generator from r. The derived stream is
-// decorrelated from r's future output, letting simulators hand child
-// components their own RNGs without interleaving effects.
+// decorrelated from r's own output, letting simulators and the parallel
+// inference engine hand child components their own RNGs without
+// interleaving effects.
+//
+// Splitting contract: the k-th Split of a generator depends only on the
+// generator's construction seed and k — NOT on how many values have been
+// drawn from it. Splitting before or after consumption yields identical
+// child streams, and Split never advances the parent's draw stream. This
+// order-insensitivity is what lets core.Infer pre-assign one stream per
+// chain and run the chains in any order, on any number of workers, with
+// bit-identical results (pinned by the reproducibility harness in
+// internal/core).
 func (r *RNG) Split() *RNG {
-	return NewRNG(r.Uint64() ^ 0xa3ec647659359acd)
+	r.splits++
+	sm := r.splitKey ^ (r.splits * 0x9e3779b97f4a7c15)
+	return NewRNG(splitmix64(&sm))
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

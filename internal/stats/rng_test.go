@@ -167,6 +167,99 @@ func TestSplitIndependence(t *testing.T) {
 	}
 }
 
+// TestSplitOrderInsensitive pins the splitting contract: the k-th Split of
+// a generator depends only on the construction seed and k, not on how many
+// values were drawn before splitting. This is what lets the parallel
+// inference engine pre-assign chain streams in any order.
+func TestSplitOrderInsensitive(t *testing.T) {
+	f := func(seed uint64, drawsRaw uint8, splitsRaw uint8) bool {
+		draws := int(drawsRaw % 50)
+		nSplits := int(splitsRaw%5) + 1
+
+		// Reference: split nSplits times with no consumption at all.
+		ref := NewRNG(seed)
+		want := make([][]uint64, nSplits)
+		for k := range want {
+			want[k] = drawN(ref.Split(), 32)
+		}
+
+		// Same seed, but interleave parent draws before and between splits.
+		mixed := NewRNG(seed)
+		for i := 0; i < draws; i++ {
+			mixed.Uint64()
+		}
+		for k := 0; k < nSplits; k++ {
+			got := drawN(mixed.Split(), 32)
+			for i := range got {
+				if got[i] != want[k][i] {
+					return false
+				}
+			}
+			for i := 0; i <= draws%7; i++ {
+				mixed.Uint64()
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSplitDoesNotAdvanceParent: the parent's draw stream must be
+// unaffected by splitting — otherwise inserting a Split call anywhere
+// would shift every downstream sequence.
+func TestSplitDoesNotAdvanceParent(t *testing.T) {
+	a, b := NewRNG(99), NewRNG(99)
+	a.Split()
+	a.Split()
+	for i := 0; i < 256; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("Split advanced the parent stream (diverged at draw %d)", i)
+		}
+	}
+}
+
+// TestSplitPairwiseIndependent checks that sibling streams (and the parent)
+// are pairwise distinct with no detectable mirroring: across random seeds,
+// any two of {parent, child_1..child_k} share essentially no draws.
+func TestSplitPairwiseIndependent(t *testing.T) {
+	f := func(seed uint64, kRaw uint8) bool {
+		k := int(kRaw%4) + 2
+		r := NewRNG(seed)
+		streams := make([][]uint64, 0, k+1)
+		for i := 0; i < k; i++ {
+			streams = append(streams, drawN(r.Split(), 64))
+		}
+		streams = append(streams, drawN(r, 64)) // the parent itself
+		for i := 0; i < len(streams); i++ {
+			for j := i + 1; j < len(streams); j++ {
+				same := 0
+				for n := range streams[i] {
+					if streams[i][n] == streams[j][n] {
+						same++
+					}
+				}
+				if same > 2 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func drawN(r *RNG, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.Uint64()
+	}
+	return out
+}
+
 func TestShuffleKeepsElements(t *testing.T) {
 	r := NewRNG(29)
 	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}

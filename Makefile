@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test tier1 vet race verify bench fuzz clean
+.PHONY: all build test tier1 vet lint becauselint race verify bench fuzz clean
 
 # Short fuzzing budget per target; raise for a real fuzzing session, e.g.
 #   make fuzz FUZZTIME=10m
@@ -23,6 +23,15 @@ tier1: build test
 vet:
 	$(GO) vet ./...
 
+# lint runs the project-specific analyzers (determinism, maporder,
+# rngshare, obsnil — see `becauselint -list`). Exit 1 on any finding.
+lint:
+	$(GO) run ./cmd/becauselint ./...
+
+# becauselint builds the standalone linter binary into bin/.
+becauselint:
+	$(GO) build -o bin/becauselint ./cmd/becauselint
+
 # race runs the whole suite under the race detector, then stresses the
 # worker-pool and reproducibility tests twice over (-count=2 defeats the
 # test cache and doubles the interleavings the detector sees).
@@ -30,9 +39,9 @@ race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=2 ./internal/par ./internal/core ./internal/experiment
 
-# verify is the pre-merge gate: static analysis, the race detector and the
-# plain test suite.
-verify: vet race tier1
+# verify is the pre-merge gate: static analysis (vet + becauselint), the
+# race detector and the plain test suite.
+verify: vet lint race tier1
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

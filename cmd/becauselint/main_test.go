@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"because/internal/lint"
+)
+
+// The fixture packages are reached relative to this package directory
+// (the test working directory). maporder is used for positive findings
+// because, unlike determinism, it is not scoped to production paths.
+const (
+	maporderFixture    = "./../../internal/lint/testdata/src/maporder"
+	determinismFixture = "./../../internal/lint/testdata/src/determinism"
+)
+
+func TestListExitsClean(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exit = %d, stderr: %s", code, errb.String())
+	}
+	for _, a := range lint.All() {
+		if !strings.Contains(out.String(), a.Name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", a.Name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-analyzers", "nonsense", "./..."}, &out, &errb); code != 2 {
+		t.Fatalf("unknown analyzer exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "nonsense") {
+		t.Errorf("stderr does not name the bad analyzer: %s", errb.String())
+	}
+}
+
+func TestBadFlagIsUsageError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag exit = %d, want 2", code)
+	}
+}
+
+func TestFindingsExitOne(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-analyzers", "maporder", maporderFixture}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("fixture exit = %d, want 1, stderr: %s", code, errb.String())
+	}
+	text := out.String()
+	for _, want := range []string{"maporder:", "iteration order is randomised", "finding(s)"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", "-analyzers", "maporder", maporderFixture}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("fixture exit = %d, want 1, stderr: %s", code, errb.String())
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not a JSON diagnostic array: %v\n%s", err, out.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics")
+	}
+	for _, d := range diags {
+		if d.File == "" || d.Line == 0 || d.Analyzer == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+	}
+}
+
+// TestCleanPackageExitsZero pins exit 0 on a finding-free run: the fixture
+// scoped out of every analyzer's path list produces nothing (the stale
+// //lint:allow report is disabled to keep the run silent).
+func TestCleanPackageExitsZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-keep-unused-allows", "-analyzers", "obsnil", determinismFixture}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("clean run exit = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run produced output: %s", out.String())
+	}
+}

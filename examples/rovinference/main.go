@@ -128,7 +128,12 @@ func main() {
 		fmt.Printf("  AS%d mean=%.2f certainty=%.2f -> %s\n", rep.AS, rep.Mean, rep.Certainty, verdict)
 	}
 	missed := 0
+	adopters := make([]bgp.ASN, 0, len(rovSet))
 	for asn := range rovSet {
+		adopters = append(adopters, asn)
+	}
+	sort.Slice(adopters, func(i, j int) bool { return adopters[i] < adopters[j] })
+	for _, asn := range adopters {
 		if rep, ok := res.Lookup(because.ASN(asn)); !ok || !rep.Category.Positive() {
 			missed++
 			fmt.Printf("  missed adopter %v (hiding behind another ROV AS?)\n", asn)

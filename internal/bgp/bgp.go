@@ -33,6 +33,15 @@ type Prefix = netip.Prefix
 // fixtures.
 func MustPrefix(s string) Prefix { return netip.MustParsePrefix(s) }
 
+// PrefixLess is a total order over prefixes (address, then length) for
+// deterministic iteration wherever prefixes are collected from a map.
+func PrefixLess(a, b Prefix) bool {
+	if c := a.Addr().Compare(b.Addr()); c != 0 {
+		return c < 0
+	}
+	return a.Bits() < b.Bits()
+}
+
 // MessageType identifies the BGP message kind in the common header.
 type MessageType uint8
 

@@ -282,9 +282,25 @@ func WriteRIB(w io.Writer, sorted []Entry, at time.Time) error {
 		return err
 	}
 
-	// Group current routes per prefix, deterministically.
+	// Group current routes per prefix, deterministically: iterate best in
+	// a fixed key order so each per-prefix entry slice is built the same
+	// way every run, then the stable sort below cannot shuffle ties.
+	routes := make([]key, 0, len(best))
+	for k := range best {
+		routes = append(routes, k)
+	}
+	sort.Slice(routes, func(i, j int) bool {
+		if routes[i].vp.AS != routes[j].vp.AS {
+			return routes[i].vp.AS < routes[j].vp.AS
+		}
+		if routes[i].vp.Project != routes[j].vp.Project {
+			return routes[i].vp.Project < routes[j].vp.Project
+		}
+		return bgp.PrefixLess(routes[i].prefix, routes[j].prefix)
+	})
 	byPrefix := make(map[bgp.Prefix][]mrt.RIBEntry)
-	for k, e := range best {
+	for _, k := range routes {
+		e := best[k]
 		byPrefix[k.prefix] = append(byPrefix[k.prefix], mrt.RIBEntry{
 			Peer:         peerOf[k.vp],
 			OriginatedAt: e.Exported,
@@ -295,10 +311,10 @@ func WriteRIB(w io.Writer, sorted []Entry, at time.Time) error {
 	for p := range byPrefix {
 		prefixes = append(prefixes, p)
 	}
-	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].String() < prefixes[j].String() })
+	sort.Slice(prefixes, func(i, j int) bool { return bgp.PrefixLess(prefixes[i], prefixes[j]) })
 	for _, p := range prefixes {
 		entries := byPrefix[p]
-		sort.Slice(entries, func(i, j int) bool {
+		sort.SliceStable(entries, func(i, j int) bool {
 			if entries[i].Peer.AS != entries[j].Peer.AS {
 				return entries[i].Peer.AS < entries[j].Peer.AS
 			}

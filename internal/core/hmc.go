@@ -122,7 +122,9 @@ func RunHMC(ds *Dataset, prior Prior, cfg HMCConfig, rng *stats.RNG) (*Chain, er
 	chainLabel := obs.ChainLabel(cfg.Chain)
 	iterCtr := cfg.Obs.Counter(obs.MetricSweeps, "method", "hmc", "chain", chainLabel)
 	divCtr := cfg.Obs.Counter(obs.MetricDivergences, "method", "hmc", "chain", chainLabel)
-	start := time.Now()
+	// Observability-only timing: feeds the sweep-rate gauge and the done
+	// log line below, never the samples.
+	start := time.Now() //lint:allow determinism
 	for iter := 0; iter < total; iter++ {
 		// Fresh Gaussian momentum; kinetic energy = |m|^2/2.
 		kin0 := 0.0
@@ -193,7 +195,7 @@ func RunHMC(ds *Dataset, prior Prior, cfg HMCConfig, rng *stats.RNG) (*Chain, er
 		}
 	}
 	if cfg.Obs != nil {
-		elapsed := time.Since(start)
+		elapsed := time.Since(start) //lint:allow determinism — observability-only
 		cfg.Obs.Gauge(obs.MetricAcceptance, "method", "hmc", "chain", chainLabel).Set(chain.AcceptanceRate())
 		if secs := elapsed.Seconds(); secs > 0 {
 			cfg.Obs.Gauge(obs.MetricSweepRate, "method", "hmc", "chain", chainLabel).Set(float64(total) / secs)

@@ -96,7 +96,9 @@ func RunMH(ds *Dataset, prior Prior, cfg MHConfig, rng *stats.RNG) (*Chain, erro
 	// every update below is a single pointer check (the no-op fast path).
 	chainLabel := obs.ChainLabel(cfg.Chain)
 	sweepCtr := cfg.Obs.Counter(obs.MetricSweeps, "method", "mh", "chain", chainLabel)
-	start := time.Now()
+	// Observability-only timing: feeds the sweep-rate gauge and the done
+	// log line below, never the samples.
+	start := time.Now() //lint:allow determinism
 	for sweep := 0; sweep < total; sweep++ {
 		order := rng.Perm(n)
 		for _, i := range order {
@@ -131,7 +133,7 @@ func RunMH(ds *Dataset, prior Prior, cfg MHConfig, rng *stats.RNG) (*Chain, erro
 		}
 	}
 	if cfg.Obs != nil {
-		elapsed := time.Since(start)
+		elapsed := time.Since(start) //lint:allow determinism — observability-only
 		cfg.Obs.Gauge(obs.MetricAcceptance, "method", "mh", "chain", chainLabel).Set(chain.AcceptanceRate())
 		if secs := elapsed.Seconds(); secs > 0 {
 			cfg.Obs.Gauge(obs.MetricSweepRate, "method", "mh", "chain", chainLabel).Set(float64(total) / secs)

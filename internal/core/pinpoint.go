@@ -57,7 +57,15 @@ func PinpointInconsistent(ds *Dataset, chains []*Chain, summaries []NodeSummary,
 		if total == 0 {
 			continue
 		}
-		for i, v := range votes {
+		// Walk the candidates in path order, not map order: with several
+		// ASes over threshold the upgraded slice (and Result.Pinpointed)
+		// must not depend on randomised map iteration.
+		for _, i := range path {
+			v, ok := votes[i]
+			if !ok {
+				continue
+			}
+			delete(votes, i) // a path may repeat an AS index; count it once
 			if float64(v)/float64(total) > threshold {
 				s := byIndex[i]
 				if s == nil {

@@ -62,6 +62,9 @@ func Fig6LinkSimilarity(run *Run) *Fig6Result {
 	for _, paths := range all {
 		allCounts = append(allCounts, float64(len(paths)))
 	}
+	// The counts come out of map iteration in randomised order; sort them
+	// so the median computation sees a reproducible sequence.
+	sort.Float64s(allCounts)
 	res.MedianPathsPerLinkAll = stats.Median(allCounts)
 	var singleMedians []float64
 	for site := range perSite {
@@ -84,10 +87,14 @@ func Fig6LinkSimilarity(run *Run) *Fig6Result {
 		for _, paths := range linkPaths {
 			counts = append(counts, float64(len(paths)))
 		}
+		sort.Float64s(counts)
 		if len(counts) > 0 {
 			singleMedians = append(singleMedians, stats.Median(counts))
 		}
 	}
+	// singleMedians was filled in map-iteration order over the sites, and
+	// float summation is order-sensitive: fix the order before averaging.
+	sort.Float64s(singleMedians)
 	res.MedianPathsPerLinkSingle = stats.Mean(singleMedians)
 	return res
 }

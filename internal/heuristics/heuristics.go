@@ -145,9 +145,26 @@ func alternativePaths(ms []label.Measurement) map[bgp.ASN]float64 {
 	for _, m := range ms {
 		groups[pairKey{m.Site, m.VP}] = append(groups[pairKey{m.Site, m.VP}], m)
 	}
+	// Iterate the (site, VP) groups in a fixed order: the per-AS sums below
+	// accumulate floats, and float addition is order-sensitive at the bit
+	// level — randomised map order would perturb scores between runs.
+	keys := make([]pairKey, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].site != keys[j].site {
+			return keys[i].site < keys[j].site
+		}
+		if keys[i].vp.AS != keys[j].vp.AS {
+			return keys[i].vp.AS < keys[j].vp.AS
+		}
+		return keys[i].vp.Project < keys[j].vp.Project
+	})
 	sum := make(map[bgp.ASN]float64)
 	cnt := make(map[bgp.ASN]int)
-	for _, group := range groups {
+	for _, key := range keys {
+		group := groups[key]
 		for _, m := range group {
 			if !m.RFD {
 				continue

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// DefaultDeterminismPaths are the result-affecting packages: everything
+// whose output feeds the paper's tables and figures. A wall-clock read or
+// an unseeded RNG anywhere in these packages can silently break the
+// bit-identical-at-any-worker-count guarantee pinned by the
+// reproducibility harness in internal/core.
+var DefaultDeterminismPaths = []string{
+	"internal/core",
+	"internal/stats",
+	"internal/router",
+	"internal/topology",
+	"internal/rfd",
+	"internal/label",
+	"internal/experiment",
+}
+
+// wallClockFuncs are the time-package functions whose results depend on
+// when (or how fast) the code runs rather than on its inputs.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Sleep":     true,
+}
+
+// Determinism returns the analyzer that forbids wall-clock reads and
+// math/rand in result-affecting packages (those whose import path ends in
+// one of paths; defaults to DefaultDeterminismPaths). Sampling must go
+// through the seeded stats.RNG, and timing that exists only to feed
+// observability must be annotated //lint:allow determinism.
+func Determinism(paths ...string) *Analyzer {
+	if len(paths) == 0 {
+		paths = DefaultDeterminismPaths
+	}
+	a := &Analyzer{
+		Name: "determinism",
+		Doc:  "forbid wall-clock reads (time.Now, timers) and math/rand in result-affecting packages",
+	}
+	a.Run = func(pass *Pass) {
+		if !pathMatches(pass.Pkg.ImportPath, paths) {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if path == "math/rand" || path == "math/rand/v2" {
+					pass.Reportf(imp.Pos(), "import of %s in result-affecting package %s: use the seeded stats.RNG instead", path, pass.Pkg.ImportPath)
+				}
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || !wallClockFuncs[id.Name] {
+					return true
+				}
+				obj := pass.Pkg.Info.Uses[id]
+				if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+					return true
+				}
+				fn, isFunc := obj.(*types.Func)
+				if !isFunc || fn.Type().(*types.Signature).Recv() != nil {
+					return true // methods like Time.After are pure
+				}
+				pass.Reportf(id.Pos(), "call to time.%s in result-affecting package %s: results must not depend on the wall clock (inject a clock, or annotate observability-only timing with //lint:allow determinism)", id.Name, pass.Pkg.ImportPath)
+				return true
+			})
+		}
+	}
+	return a
+}

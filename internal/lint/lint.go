@@ -1,0 +1,202 @@
+// Package lint is BeCAUSe's dependency-free static-analysis framework:
+// a small analyzer driver built on the stdlib go/ast, go/parser and
+// go/types packages, plus the project-specific analyzers that enforce
+// the repository's determinism, RNG-discipline and observability
+// contracts (see the Determinism, MapOrder, RNGShare and ObsNil
+// constructors).
+//
+// The framework deliberately avoids golang.org/x/tools: packages are
+// loaded through `go list -export` (export data for type-checking comes
+// straight from the build cache), diagnostics carry file:line:column
+// positions, and findings can be suppressed at a single call site with a
+//
+//	//lint:allow <analyzer> <reason>
+//
+// comment on the flagged line or the line directly above it. Suppressed
+// findings are tracked: a directive that no longer matches any finding
+// is itself reported, so stale escape hatches cannot accumulate.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named static check. Run inspects a loaded package and
+// reports findings through the Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:allow
+	// directives. Lowercase, no spaces.
+	Name string
+	// Doc is a one-line description, shown by `becauselint -list`.
+	Doc string
+	// Run inspects pkg and reports findings via pass.Reportf. It is
+	// called once per loaded package.
+	Run func(pass *Pass)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding: which analyzer fired, where, and why.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	Message  string         `json:"message"`
+
+	// File/Line/Col mirror Pos for the JSON output mode.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+}
+
+// String renders the diagnostic in the conventional
+// file:line:col: analyzer: message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// AllowDirective is the comment prefix that suppresses a finding.
+const AllowDirective = "//lint:allow "
+
+// allow is one parsed //lint:allow directive.
+type allow struct {
+	analyzer string
+	file     string
+	line     int
+	used     bool
+}
+
+// collectAllows parses every //lint:allow directive in the package.
+func collectAllows(pkg *Package) []*allow {
+	var out []*allow
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, AllowDirective)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				out = append(out, &allow{analyzer: fields[0], file: pos.Filename, line: pos.Line})
+			}
+		}
+	}
+	return out
+}
+
+// suppress drops diagnostics covered by an allow directive on the same
+// line or the line directly above, marks those directives used, and
+// appends one "unused directive" diagnostic for every directive (naming
+// an analyzer that actually ran) which suppressed nothing — deleting a
+// finding without deleting its escape hatch is itself a finding.
+func suppress(diags []Diagnostic, allows []*allow, ran map[string]bool, reportUnused bool) []Diagnostic {
+	kept := diags[:0]
+	for _, d := range diags {
+		covered := false
+		for _, a := range allows {
+			if a.analyzer != d.Analyzer || a.file != d.Pos.Filename {
+				continue
+			}
+			if a.line == d.Pos.Line || a.line == d.Pos.Line-1 {
+				a.used = true
+				covered = true
+			}
+		}
+		if !covered {
+			kept = append(kept, d)
+		}
+	}
+	if reportUnused {
+		for _, a := range allows {
+			if !a.used && ran[a.analyzer] {
+				kept = append(kept, Diagnostic{
+					Analyzer: "lint",
+					Pos:      token.Position{Filename: a.file, Line: a.line, Column: 1},
+					Message:  fmt.Sprintf("unused //lint:allow %s directive (nothing on this or the next line triggers it)", a.analyzer),
+				})
+			}
+		}
+	}
+	return kept
+}
+
+// sortDiagnostics orders findings by file, line, column, analyzer —
+// deterministic output for golden tests and stable CI logs.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// pathMatches reports whether importPath ends in one of the given
+// slash-separated suffixes ("internal/core" matches "because/internal/core"
+// but not "because/internal/corelike").
+func pathMatches(importPath string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if importPath == s || strings.HasSuffix(importPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingFuncBody returns the body of the innermost function (decl or
+// literal) in stack, or nil. stack is an ancestor chain, outermost first.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// inspectWithStack walks the file like ast.Inspect but hands the visitor
+// its ancestor chain (outermost first, not including n itself).
+func inspectWithStack(f *ast.File, visit func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		visit(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// DefaultObsNilPaths selects the observability package, whose documented
+// contract is that every type treats its nil value as a no-op.
+var DefaultObsNilPaths = []string{"internal/obs"}
+
+// ObsNil returns the analyzer that verifies every exported
+// pointer-receiver method in the observability package (import path
+// ending in one of paths; defaults to DefaultObsNilPaths) begins with a
+// nil-receiver guard. That guard is what makes instrumentation free on
+// hot paths: un-observed call sites hold nil handles, and every method
+// must degrade to a single pointer check.
+func ObsNil(paths ...string) *Analyzer {
+	if len(paths) == 0 {
+		paths = DefaultObsNilPaths
+	}
+	a := &Analyzer{
+		Name: "obsnil",
+		Doc:  "require a nil-receiver guard as the first statement of exported obs pointer-receiver methods",
+	}
+	a.Run = func(pass *Pass) {
+		if !pathMatches(pass.Pkg.ImportPath, paths) {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Recv == nil || !fn.Name.IsExported() || fn.Body == nil {
+					continue
+				}
+				recv := fn.Recv.List[0]
+				if _, isPtr := recv.Type.(*ast.StarExpr); !isPtr {
+					continue // value receivers cannot be nil
+				}
+				if len(recv.Names) == 0 || recv.Names[0].Name == "_" {
+					continue // receiver unused: trivially nil-safe
+				}
+				if !startsWithNilGuard(fn.Body, recv.Names[0].Name) {
+					pass.Reportf(fn.Name.Pos(), "exported method %s on pointer receiver %s must start with a nil-receiver guard (`if %s == nil { return ... }`): the obs contract is that nil handles are free no-ops", fn.Name.Name, recv.Names[0].Name, recv.Names[0].Name)
+				}
+			}
+		}
+	}
+	return a
+}
+
+// startsWithNilGuard reports whether the body's first statement is a
+// recognised nil guard on the named receiver:
+//
+//	if recv == nil { ... return ... }     (possibly `recv == nil || more`)
+//	if recv != nil { ...whole body... }   (guarded-body form)
+//	return recv != nil && ...
+func startsWithNilGuard(body *ast.BlockStmt, recv string) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	switch stmt := body.List[0].(type) {
+	case *ast.IfStmt:
+		if cmp, ok := stmt.Cond.(*ast.BinaryExpr); ok && cmp.Op == token.NEQ && isNilComparison(cmp, recv) {
+			// `if recv != nil { ... }` wrapping the method body is a
+			// guard only when nothing runs after it unguarded.
+			return len(body.List) == 1
+		}
+		return condHasNilCheck(stmt.Cond, recv, token.EQL) && endsInReturn(stmt.Body)
+	case *ast.ReturnStmt:
+		for _, res := range stmt.Results {
+			if condHasNilCheck(res, recv, token.NEQ) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// condHasNilCheck reports whether the expression contains `recv <op> nil`
+// (op EQL or NEQ), searching through parentheses and the short-circuit
+// operator that keeps the check first: `||` chains for == (guard fires on
+// any reason to bail) and `&&` chains for != (proceed only when non-nil).
+func condHasNilCheck(e ast.Expr, recv string, op token.Token) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return condHasNilCheck(e.X, recv, op)
+	case *ast.BinaryExpr:
+		if e.Op == op {
+			return isNilComparison(e, recv)
+		}
+		if (op == token.EQL && e.Op == token.LOR) || (op == token.NEQ && e.Op == token.LAND) {
+			return condHasNilCheck(e.X, recv, op) || condHasNilCheck(e.Y, recv, op)
+		}
+	}
+	return false
+}
+
+// isNilComparison reports whether the binary expression compares the
+// named receiver against the nil identifier (either operand order).
+func isNilComparison(e *ast.BinaryExpr, recv string) bool {
+	isRecv := func(x ast.Expr) bool {
+		id, ok := x.(*ast.Ident)
+		return ok && id.Name == recv
+	}
+	isNil := func(x ast.Expr) bool {
+		id, ok := x.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (isRecv(e.X) && isNil(e.Y)) || (isNil(e.X) && isRecv(e.Y))
+}
+
+// endsInReturn reports whether the block's last statement returns (a bare
+// guard body `{ return }` or `{ return 0 }`).
+func endsInReturn(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	_, ok := body.List[len(body.List)-1].(*ast.ReturnStmt)
+	return ok
+}

@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// RNGShare returns the analyzer that enforces PR 2's pre-split RNG
+// discipline: a *stats.RNG may only cross into a goroutine — a `go`
+// statement or a par.Group.Go task closure — if it was obtained from a
+// Split call in the same function. Sharing one generator across
+// concurrently running chains makes the draw sequence depend on
+// scheduling (and races on the generator state), destroying the
+// bit-identical-at-any-worker-count guarantee.
+func RNGShare() *Analyzer {
+	a := &Analyzer{
+		Name: "rngshare",
+		Doc:  "forbid sharing a *stats.RNG with a goroutine unless it came from Split in the same function",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			inspectWithStack(f, func(n ast.Node, stack []ast.Node) {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					enclosing := enclosingFuncBody(stack)
+					if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+						checkCapturedRNGs(pass, lit, enclosing, "go statement")
+						return
+					}
+					for _, arg := range n.Call.Args {
+						checkRNGExpr(pass, arg, enclosing, "go statement")
+					}
+				case *ast.CallExpr:
+					if !isPoolGoCall(pass, n) || len(n.Args) == 0 {
+						return
+					}
+					if lit, ok := n.Args[0].(*ast.FuncLit); ok {
+						checkCapturedRNGs(pass, lit, enclosingFuncBody(stack), "par.Group task")
+					}
+				}
+			})
+		}
+	}
+	return a
+}
+
+// isPoolGoCall reports whether call is pool.Go(...) on a *par.Group.
+func isPoolGoCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Go" {
+		return false
+	}
+	tv, ok := pass.Pkg.Info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Group" && obj.Pkg() != nil &&
+		(obj.Pkg().Path() == "because/internal/par" || strings.HasSuffix(obj.Pkg().Path(), "/internal/par"))
+}
+
+// checkCapturedRNGs reports every free *stats.RNG variable of lit — a
+// variable declared outside the literal but used inside it — that is not
+// Split-derived in the enclosing function.
+func checkCapturedRNGs(pass *Pass, lit *ast.FuncLit, enclosing *ast.BlockStmt, context string) {
+	seen := make(map[*types.Var]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.Pkg.Info.Uses[id].(*types.Var)
+		if !ok || seen[v] || v.IsField() || !isStatsRNG(v.Type()) {
+			return true // fields ride in by value inside their struct
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // declared inside the closure: not shared
+		}
+		seen[v] = true
+		if !splitDerived(pass, enclosing, v) {
+			pass.Reportf(id.Pos(), "%s captures *stats.RNG %q, which is not obtained from Split in this function: sharing a generator across goroutines races and breaks deterministic replay (pre-split one stream per task)", context, v.Name())
+		}
+		return true
+	})
+}
+
+// checkRNGExpr reports e when it is a non-Split-derived *stats.RNG handed
+// to a goroutine as a call argument.
+func checkRNGExpr(pass *Pass, e ast.Expr, enclosing *ast.BlockStmt, context string) {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Type == nil || !isStatsRNG(tv.Type) {
+		return
+	}
+	// rng.Split() passed directly is the blessed pattern.
+	if call, ok := e.(*ast.CallExpr); ok {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Split" {
+			return
+		}
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if v, ok := pass.Pkg.Info.Uses[id].(*types.Var); ok && splitDerived(pass, enclosing, v) {
+			return
+		}
+	}
+	pass.Reportf(e.Pos(), "%s receives a *stats.RNG that is not obtained from Split in this function: sharing a generator across goroutines races and breaks deterministic replay (pre-split one stream per task)", context)
+}
+
+// splitDerived reports whether some assignment or declaration inside the
+// enclosing function body sets v from a Split() method call on a
+// *stats.RNG.
+func splitDerived(pass *Pass, enclosing *ast.BlockStmt, v *types.Var) bool {
+	if enclosing == nil {
+		return false
+	}
+	derived := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if derived {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Pkg.Info.Defs[id]
+				if obj == nil {
+					obj = pass.Pkg.Info.Uses[id]
+				}
+				if obj != v {
+					continue
+				}
+				// With a 1:1 assignment count the RHS positions match;
+				// a multi-value RHS (call) cannot be a Split chain.
+				if len(n.Rhs) == len(n.Lhs) && isSplitCall(pass, n.Rhs[i]) {
+					derived = true
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if pass.Pkg.Info.Defs[name] == v && i < len(n.Values) && isSplitCall(pass, n.Values[i]) {
+					derived = true
+				}
+			}
+		}
+		return !derived
+	})
+	return derived
+}
+
+// isSplitCall reports whether e is a Split() method call on a *stats.RNG.
+func isSplitCall(pass *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Split" {
+		return false
+	}
+	tv, ok := pass.Pkg.Info.Types[sel.X]
+	return ok && tv.Type != nil && isStatsRNG(tv.Type)
+}

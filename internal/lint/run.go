@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"path/filepath"
+)
+
+// Options configures a lint run.
+type Options struct {
+	// Analyzers to run; nil selects All().
+	Analyzers []*Analyzer
+	// KeepUnusedAllows disables the stale-directive check (used by tests
+	// that exercise fixtures one analyzer at a time).
+	KeepUnusedAllows bool
+	// RelTo, when non-empty, renders diagnostic file paths relative to
+	// this directory (falling back to the absolute path outside it).
+	RelTo string
+}
+
+// All returns the production analyzer set with its default configuration.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism(),
+		MapOrder(),
+		RNGShare(),
+		ObsNil(),
+	}
+}
+
+// Run loads the packages matched by patterns (resolved relative to dir)
+// and applies every analyzer, returning findings sorted by position.
+// A finding is suppressed by a `//lint:allow <analyzer>` comment on its
+// line or the line above; directives that suppress nothing are themselves
+// reported unless opts.KeepUnusedAllows is set.
+func Run(dir string, patterns []string, opts Options) ([]Diagnostic, error) {
+	analyzers := opts.Analyzers
+	if analyzers == nil {
+		analyzers = All()
+	}
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+			a.Run(pass)
+		}
+		diags = suppress(diags, collectAllows(pkg), ran, !opts.KeepUnusedAllows)
+		all = append(all, diags...)
+	}
+	sortDiagnostics(all)
+	all = dedupDiagnostics(all)
+	for i := range all {
+		all[i].File = renderPath(all[i].Pos.Filename, opts.RelTo)
+		all[i].Line = all[i].Pos.Line
+		all[i].Col = all[i].Pos.Column
+	}
+	return all, nil
+}
+
+// dedupDiagnostics collapses identical sorted findings: nested map ranges
+// can flag the same statement once per enclosing loop.
+func dedupDiagnostics(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// renderPath shortens an absolute position path relative to base when
+// possible; cross-volume or outside-base paths stay absolute.
+func renderPath(path, base string) string {
+	if base == "" {
+		return path
+	}
+	rel, err := filepath.Rel(base, path)
+	if err != nil || rel == ".." || len(rel) > 2 && rel[:3] == ".."+string(filepath.Separator) {
+		return path
+	}
+	return rel
+}

@@ -1,0 +1,38 @@
+// Package determinism seeds wall-clock and math/rand violations for the
+// determinism analyzer's golden test.
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock: flagged.
+func Stamp() time.Time { return time.Now() }
+
+// Elapsed measures wall time: flagged.
+func Elapsed(start time.Time) time.Duration { return time.Since(start) }
+
+// Shuffle pulls from the global math/rand stream; the import itself is
+// flagged (once), not each use.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// AllowedStamp carries the escape hatch: suppressed.
+func AllowedStamp() time.Time {
+	return time.Now() //lint:allow determinism — fixture suppression case
+}
+
+// Pure compares and shifts times without consulting the clock: the
+// Time.After/Before methods and Duration arithmetic are pure functions of
+// their inputs, so nothing here is flagged (false-positive guard).
+func Pure(a, b time.Time) bool {
+	return a.After(b) && b.Add(5*time.Second).Before(a)
+}
+
+// Stale carries an annotation that suppresses nothing: the directive
+// itself is reported as unused.
+func Stale(a, b int) int {
+	return a + b //lint:allow determinism — stale: nothing here reads the clock
+}

@@ -1,0 +1,101 @@
+// Package maporder seeds order-leaking map iterations for the maporder
+// analyzer's golden test.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+
+	"because/internal/stats"
+)
+
+// Keys leaks iteration order into the returned slice: flagged.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys is the fixed form — append, then sort: not flagged.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Print writes output in iteration order: flagged.
+func Print(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// Feed draws from the seeded RNG once per key, so the draw sequence
+// consumed by later code depends on iteration order: flagged.
+func Feed(m map[string]int, rng *stats.RNG) {
+	for k := range m {
+		if rng.Float64() < 0.5 {
+			delete(m, k)
+		}
+	}
+}
+
+// Render accumulates a string in iteration order: flagged.
+func Render(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k
+	}
+	return s
+}
+
+// Mean accumulates floats in iteration order; float addition is not
+// associative, so the low bits differ between runs: flagged.
+func Mean(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v
+	}
+	return sum / float64(len(m))
+}
+
+// Count accumulates integers, which commute exactly: not flagged
+// (false-positive guard).
+func Count(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		n += len(vs)
+	}
+	return n
+}
+
+// Invert writes map entries, which lands identically in any order, and
+// appends only to a slice declared inside the loop body: not flagged
+// (false-positive guard).
+func Invert(m map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, vs := range m {
+		var doubled []float64
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		if len(doubled) > 0 {
+			out[k] = doubled[0]
+		}
+	}
+	return out
+}
+
+// AllowedKeys carries the escape hatch: suppressed.
+func AllowedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) //lint:allow maporder — fixture suppression case
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+// Package obs mirrors the real observability package's nil-safety
+// contract for the obsnil analyzer's golden test: every exported
+// pointer-receiver method must begin with a nil-receiver guard.
+package obs
+
+// Meter is a nil-safe metric handle.
+type Meter struct{ v float64 }
+
+// Unguarded dereferences a possibly-nil receiver: flagged.
+func (m *Meter) Unguarded(v float64) {
+	m.v += v
+}
+
+// Guarded starts with the == nil bail-out form: not flagged.
+func (m *Meter) Guarded(v float64) {
+	if m == nil {
+		return
+	}
+	m.v += v
+}
+
+// Wrapped uses the != nil whole-body form: not flagged.
+func (m *Meter) Wrapped(v float64) {
+	if m != nil {
+		m.v += v
+	}
+}
+
+// Positive uses the return-chain form: not flagged.
+func (m *Meter) Positive() bool { return m != nil && m.v > 0 }
+
+// Snapshot has a value receiver, which can never be nil: not flagged
+// (false-positive guard).
+func (m Meter) Snapshot() float64 { return m.v }
+
+// reset is unexported; the contract covers the exported API only: not
+// flagged (false-positive guard).
+func (m *Meter) reset() { m.v = 0 }
+
+// Allowed carries the escape hatch: suppressed.
+func (m *Meter) Allowed() float64 { return m.v } //lint:allow obsnil — fixture suppression case
+
+var _ = (&Meter{}).reset

@@ -1,0 +1,65 @@
+// Package rngshare seeds cross-goroutine RNG sharing for the rngshare
+// analyzer's golden test.
+package rngshare
+
+import (
+	"because/internal/par"
+	"because/internal/stats"
+)
+
+// Shared captures the parent generator in a go statement: flagged.
+func Shared(rng *stats.RNG) []float64 {
+	out := make([]float64, 2)
+	done := make(chan struct{})
+	go func() {
+		out[0] = rng.Float64()
+		close(done)
+	}()
+	out[1] = rng.Float64()
+	<-done
+	return out
+}
+
+// PoolShared hands the parent generator to a par.Group task: flagged.
+func PoolShared(rng *stats.RNG) float64 {
+	g := par.NewGroup(2, nil, "fixture")
+	var v float64
+	g.Go(func() error {
+		v = rng.Float64()
+		return nil
+	})
+	_ = g.Wait()
+	return v
+}
+
+// ArgShared passes the generator into the goroutine by argument: flagged.
+func ArgShared(rng *stats.RNG) {
+	go consume(rng)
+}
+
+func consume(*stats.RNG) {}
+
+// PreSplit follows the discipline — one Split stream per task: not
+// flagged (false-positive guard).
+func PreSplit(rng *stats.RNG) float64 {
+	stream := rng.Split()
+	g := par.NewGroup(2, nil, "fixture")
+	var v float64
+	g.Go(func() error {
+		v = stream.Float64()
+		return nil
+	})
+	_ = g.Wait()
+	return v
+}
+
+// DirectSplit hands a freshly split stream straight to the goroutine:
+// not flagged.
+func DirectSplit(rng *stats.RNG) {
+	go consume(rng.Split())
+}
+
+// Allowed carries the escape hatch: suppressed.
+func Allowed(rng *stats.RNG) {
+	go consume(rng) //lint:allow rngshare — fixture suppression case
+}

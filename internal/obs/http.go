@@ -41,11 +41,27 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	return s, nil
 }
 
-// Addr returns the bound address (host:port), useful with ":0".
-func (s *Server) Addr() string { return s.lis.Addr().String() }
+// Addr returns the bound address (host:port), useful with ":0". The nil
+// server reports an empty address.
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.lis.Addr().String()
+}
 
-// URL returns the server's base URL.
-func (s *Server) URL() string { return "http://" + s.Addr() }
+// URL returns the server's base URL ("" for the nil server).
+func (s *Server) URL() string {
+	if s == nil {
+		return ""
+	}
+	return "http://" + s.Addr()
+}
 
-// Close stops the listener.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close stops the listener. Closing the nil server is a no-op.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

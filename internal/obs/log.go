@@ -91,12 +91,14 @@ func NewTextLogger(w io.Writer, min Level) *TextLogger {
 	return &TextLogger{w: w, min: min, now: time.Now}
 }
 
-// Enabled implements Logger.
-func (l *TextLogger) Enabled(level Level) bool { return level >= l.min }
+// Enabled implements Logger. The nil *TextLogger emits nothing.
+func (l *TextLogger) Enabled(level Level) bool { return l != nil && level >= l.min }
 
-// Log implements Logger.
+// Log implements Logger. The nil *TextLogger drops the record: a typed
+// nil stored in a Logger interface slips past interface==nil checks, so
+// the methods themselves must be nil-safe like every other obs type.
 func (l *TextLogger) Log(level Level, msg string, kv ...any) {
-	if !l.Enabled(level) {
+	if l == nil || !l.Enabled(level) {
 		return
 	}
 	var b strings.Builder

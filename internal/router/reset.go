@@ -2,6 +2,7 @@ package router
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"because/internal/bgp"
@@ -65,6 +66,10 @@ func (r *Router) dropSessionState(neighbor bgp.ASN) {
 			d.Reset(dampKey{neighbor, prefix})
 		}
 	}
+	// adjIn is a map, so the affected prefixes arrive in randomised order;
+	// re-run the decisions in a fixed order so the resulting announcement
+	// sequence is reproducible.
+	sort.Slice(affected, func(i, j int) bool { return bgp.PrefixLess(affected[i], affected[j]) })
 	for _, prefix := range affected {
 		r.runDecision(prefix)
 	}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test tier1 vet lint becauselint race verify bench fuzz clean
+.PHONY: all build test tier1 vet lint becauselint race verify bench fuzz serve-smoke clean
 
 # Short fuzzing budget per target; raise for a real fuzzing session, e.g.
 #   make fuzz FUZZTIME=10m
@@ -45,6 +45,11 @@ verify: vet lint race tier1
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# serve-smoke exercises the becaused daemon end to end: ephemeral port,
+# real inference over HTTP, cache hit on repeat, SIGTERM drain.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # fuzz gives each native fuzz target a short budget (the seed corpora plus
 # any saved crashers always run as part of `make test` regardless).

@@ -36,7 +36,9 @@
 package because
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -45,6 +47,43 @@ import (
 	"because/internal/core"
 	"because/internal/obs"
 )
+
+// SchemaVersion identifies the JSON wire schema emitted by Result and
+// ASReport marshalling (and therefore by the becaused HTTP API). It is
+// bumped whenever a field changes meaning or disappears; additive changes
+// keep the version. Consumers should reject documents whose schema_version
+// they do not understand.
+const SchemaVersion = 1
+
+// API-boundary sentinel errors. They (and ValidationError) are the only
+// failures Infer and InferContext produce for bad input, so callers can
+// switch on errors.Is/errors.As to pick exit codes or HTTP statuses
+// instead of matching message strings.
+var (
+	// ErrNoObservations reports an empty observation set.
+	ErrNoObservations = errors.New("because: no observations")
+	// ErrInvalidOptions is the class every options-validation failure
+	// unwraps to; the concrete error is a *ValidationError naming the field.
+	ErrInvalidOptions = errors.New("because: invalid options")
+)
+
+// ValidationError pinpoints the input field that failed validation. It
+// unwraps to ErrInvalidOptions, so errors.Is(err, ErrInvalidOptions) and
+// errors.As(err, *ValidationError) both work.
+type ValidationError struct {
+	// Field names the offending Options field (or observation element) in
+	// the wire-schema spelling, e.g. "miss_rate" or "observations[3].path".
+	Field string
+	// Reason says what about it was invalid.
+	Reason string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("because: invalid options: %s: %s", e.Field, e.Reason)
+}
+
+// Unwrap makes every validation failure match ErrInvalidOptions.
+func (e *ValidationError) Unwrap() error { return ErrInvalidOptions }
 
 // ASN is an autonomous system number.
 type ASN uint32
@@ -122,14 +161,83 @@ type Options struct {
 	// tools (cmd/becausectl and friends); nil (the default) is a no-op
 	// whose cost is a pointer check per sweep.
 	Obs *obs.Observer
-	// Progress, when non-nil, receives sampler progress every
-	// ProgressEvery sweeps and at each sampler's completion: stage is
-	// "mh" or "hmc", chain the chain index, done/total count sweeps
-	// (burn-in included), acceptance the running acceptance rate. Called
-	// synchronously from the sampling loop; keep it fast.
+	// OnProgress, when non-nil, receives a ProgressEvent every
+	// ProgressEvery sweeps and at each sampler's completion. Called
+	// synchronously from the sampling loop; keep it fast. This is the
+	// unified progress surface; see ProgressEvent.
+	OnProgress func(ProgressEvent)
+	// Progress is the pre-ProgressEvent callback shape, kept so existing
+	// callers compile; it receives the same events flattened to scalars.
+	// When both callbacks are set, both are invoked.
+	//
+	// Deprecated: use OnProgress.
 	Progress func(stage string, chain, done, total int, acceptance float64)
 	// ProgressEvery is the progress cadence in sweeps (default 100).
 	ProgressEvery int
+}
+
+// ProgressEvent is one sampler progress notification — the single exported
+// shape behind both Options.OnProgress and the internal samplers' progress
+// stream (the legacy Options.Progress callback receives the same event
+// flattened to scalars).
+type ProgressEvent struct {
+	// Stage is the sampler: "mh" or "hmc".
+	Stage string
+	// Chain is the chain index within a multi-chain ensemble.
+	Chain int
+	// Done and Total count sweeps (MH) or trajectories (HMC), burn-in
+	// included.
+	Done, Total int
+	// Accepted and Proposed are the running Metropolis decision counts.
+	Accepted, Proposed int
+}
+
+// AcceptanceRate returns Accepted/Proposed (0 before any proposal).
+func (e ProgressEvent) AcceptanceRate() float64 {
+	if e.Proposed == 0 {
+		return 0
+	}
+	return float64(e.Accepted) / float64(e.Proposed)
+}
+
+// Validate checks the options for internal consistency. Infer and
+// InferContext call it first; a failure is a *ValidationError (unwrapping
+// to ErrInvalidOptions) that names the offending field.
+func (o Options) Validate() error {
+	if o.Prior != (Prior{}) && (o.Prior.Alpha <= 0 || o.Prior.Beta <= 0) {
+		return &ValidationError{Field: "prior", Reason: fmt.Sprintf("Beta(%g, %g) parameters must be positive", o.Prior.Alpha, o.Prior.Beta)}
+	}
+	if o.MHSweeps < 0 {
+		return &ValidationError{Field: "mh_sweeps", Reason: "must be non-negative"}
+	}
+	if o.MHBurnIn < 0 {
+		return &ValidationError{Field: "mh_burn_in", Reason: "must be non-negative"}
+	}
+	if o.HMCIterations < 0 {
+		return &ValidationError{Field: "hmc_iterations", Reason: "must be non-negative"}
+	}
+	if o.HMCBurnIn < 0 {
+		return &ValidationError{Field: "hmc_burn_in", Reason: "must be non-negative"}
+	}
+	if o.DisableMH && o.DisableHMC {
+		return &ValidationError{Field: "disable_mh, disable_hmc", Reason: "both samplers disabled"}
+	}
+	if o.Chains < 0 {
+		return &ValidationError{Field: "chains", Reason: "must be non-negative"}
+	}
+	if o.Workers < 0 {
+		return &ValidationError{Field: "workers", Reason: "must be non-negative"}
+	}
+	if o.HDPIMass < 0 || o.HDPIMass > 1 {
+		return &ValidationError{Field: "hdpi_mass", Reason: "must be in [0, 1] (0 selects the 0.95 default)"}
+	}
+	if o.MissRate < 0 || o.MissRate >= 1 {
+		return &ValidationError{Field: "miss_rate", Reason: "must be in [0, 1)"}
+	}
+	if o.ProgressEvery < 0 {
+		return &ValidationError{Field: "progress_every", Reason: "must be non-negative"}
+	}
+	return nil
 }
 
 // Category is the five-level certainty scale of the paper's Table 1.
@@ -171,10 +279,12 @@ type ASReport struct {
 	RHat float64
 }
 
-// MarshalJSON renders the report with the RHat diagnostic omitted when it
-// was not computed (NaN is not representable in JSON).
+// MarshalJSON renders the report with a schema_version marker and with the
+// RHat diagnostic omitted when it was not computed (NaN is not
+// representable in JSON).
 func (r ASReport) MarshalJSON() ([]byte, error) {
 	type wire struct {
+		SchemaVersion int      `json:"schema_version"`
 		AS            ASN      `json:"as"`
 		Mean          float64  `json:"mean"`
 		CredibleLow   float64  `json:"credible_low"`
@@ -187,7 +297,8 @@ func (r ASReport) MarshalJSON() ([]byte, error) {
 		RHat          *float64 `json:"rhat,omitempty"`
 	}
 	w := wire{
-		AS: r.AS, Mean: r.Mean, CredibleLow: r.CredibleLow, CredibleHigh: r.CredibleHigh,
+		SchemaVersion: SchemaVersion,
+		AS:            r.AS, Mean: r.Mean, CredibleLow: r.CredibleLow, CredibleHigh: r.CredibleHigh,
 		Certainty: r.Certainty, Category: r.Category, Pinpointed: r.Pinpointed,
 		PositivePaths: r.PositivePaths, NegativePaths: r.NegativePaths,
 	}
@@ -210,6 +321,29 @@ type Result struct {
 	HMCDivergences int
 
 	byAS map[ASN]*ASReport
+}
+
+// MarshalJSON renders the whole result as a versioned wire document:
+// schema_version, the per-AS reports (each versioned too) and the sampler
+// diagnostics. This is the body becaused serves.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	type wire struct {
+		SchemaVersion  int        `json:"schema_version"`
+		Reports        []ASReport `json:"reports"`
+		MHAcceptance   float64    `json:"mh_acceptance"`
+		HMCAcceptance  float64    `json:"hmc_acceptance"`
+		HMCDivergences int        `json:"hmc_divergences"`
+	}
+	reports := r.Reports
+	if reports == nil {
+		reports = []ASReport{}
+	}
+	return json.Marshal(wire{
+		SchemaVersion: SchemaVersion,
+		Reports:       reports,
+		MHAcceptance:  r.MHAcceptance, HMCAcceptance: r.HMCAcceptance,
+		HMCDivergences: r.HMCDivergences,
+	})
 }
 
 // Flagged returns the reports with a positive category (4 or 5), most
@@ -251,13 +385,38 @@ func (r *Result) CategoryCounts() [6]int {
 	return out
 }
 
-// Infer runs the BeCAUSe pipeline over the observations.
+// Infer runs the BeCAUSe pipeline over the observations. It is
+// InferContext without cancellation — the run always continues to
+// completion.
 func Infer(observations []PathObservation, opts Options) (*Result, error) {
+	return InferContext(context.Background(), observations, opts)
+}
+
+// InferContext runs the BeCAUSe pipeline under a context. Cancellation is
+// cooperative at sweep granularity: every running MCMC chain notices a
+// cancelled context within one sweep and the call returns ctx.Err()
+// (errors.Is-compatible with context.Canceled / context.DeadlineExceeded),
+// with chains still queued on the worker pool skipped before they start.
+// Cancellation can only abort a run, never perturb one: a run that
+// completes under a context is bit-identical to the same run under Infer.
+func InferContext(ctx context.Context, observations []PathObservation, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(observations) == 0 {
-		return nil, fmt.Errorf("because: no observations")
+		return nil, ErrNoObservations
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
 	coreObs := make([]core.PathObs, 0, len(observations))
-	for _, o := range observations {
+	for j, o := range observations {
+		if len(o.Path) == 0 {
+			return nil, &ValidationError{Field: fmt.Sprintf("observations[%d].path", j), Reason: "empty AS path"}
+		}
+		if o.Weight < 0 {
+			return nil, &ValidationError{Field: fmt.Sprintf("observations[%d].weight", j), Reason: "must be non-negative"}
+		}
 		asns := make([]bgp.ASN, len(o.Path))
 		for i, a := range o.Path {
 			asns[i] = bgp.ASN(a)
@@ -282,16 +441,28 @@ func Infer(observations []PathObservation, opts Options) (*Result, error) {
 		Obs:               opts.Obs,
 		ProgressEvery:     opts.ProgressEvery,
 	}
-	if opts.Progress != nil {
-		report := opts.Progress
+	if opts.OnProgress != nil || opts.Progress != nil {
+		// Thin adapter from the internal progress stream to the unified
+		// ProgressEvent surface; the deprecated flattened callback rides
+		// along on the same events.
+		on, legacy := opts.OnProgress, opts.Progress
 		cfg.Progress = func(p obs.Progress) {
-			report(p.Stage, p.Chain, p.Done, p.Total, p.AcceptanceRate())
+			ev := ProgressEvent{
+				Stage: p.Stage, Chain: p.Chain, Done: p.Done, Total: p.Total,
+				Accepted: p.Accepted, Proposed: p.Proposed,
+			}
+			if on != nil {
+				on(ev)
+			}
+			if legacy != nil {
+				legacy(ev.Stage, ev.Chain, ev.Done, ev.Total, ev.AcceptanceRate())
+			}
 		}
 	}
 	if opts.Prior != (Prior{}) {
 		cfg.Prior = core.Prior{Alpha: opts.Prior.Alpha, Beta: opts.Prior.Beta}
 	}
-	res, err := core.Infer(ds, cfg)
+	res, err := core.InferContext(ctx, ds, cfg)
 	if err != nil {
 		return nil, err
 	}

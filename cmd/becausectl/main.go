@@ -30,6 +30,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -96,6 +97,11 @@ func main() {
 	}
 	if err := run(o, observer, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "becausectl:", err)
+		// The API's typed errors pick the exit code: bad input is a usage
+		// error (2), anything else a runtime failure (1).
+		if errors.Is(err, because.ErrInvalidOptions) || errors.Is(err, because.ErrNoObservations) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -130,7 +136,7 @@ func run(o options, observer *obs.Observer, stdout io.Writer) error {
 		return err
 	}
 	if len(records) == 0 {
-		return fmt.Errorf("no observations in input")
+		return because.ErrNoObservations
 	}
 
 	opts := because.Options{
@@ -149,12 +155,12 @@ func run(o options, observer *obs.Observer, stdout io.Writer) error {
 	case "centered":
 		opts.Prior = because.PriorCentered
 	default:
-		return fmt.Errorf("unknown prior %q", o.prior)
+		return &because.ValidationError{Field: "prior", Reason: fmt.Sprintf("unknown prior %q", o.prior)}
 	}
 	if o.progress {
-		opts.Progress = func(stage string, chain, done, total int, acceptance float64) {
+		opts.OnProgress = func(ev because.ProgressEvent) {
 			fmt.Fprintf(os.Stderr, "becausectl: %s chain %d: %d/%d sweeps, acceptance %.2f\n",
-				stage, chain, done, total, acceptance)
+				ev.Stage, ev.Chain, ev.Done, ev.Total, ev.AcceptanceRate())
 		}
 	}
 

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestNewObserver(t *testing.T) {
+	o, err := newObserver("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o == nil || o.Metrics == nil {
+		t.Fatal("observer without a registry: /metrics would be empty")
+	}
+	if _, err := newObserver("debug"); err != nil {
+		t.Errorf("level debug rejected: %v", err)
+	}
+	if _, err := newObserver("bogus"); err == nil {
+		t.Error("bogus log level accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -81,6 +82,17 @@ const divergenceThreshold = 50.0
 
 // RunHMC draws samples from the posterior with Hamiltonian Monte Carlo.
 func RunHMC(ds *Dataset, prior Prior, cfg HMCConfig, rng *stats.RNG) (*Chain, error) {
+	return RunHMCContext(context.Background(), ds, prior, cfg, rng)
+}
+
+// RunHMCContext is RunHMC under a context: cancellation is checked once per
+// trajectory (never inside one, so a run that completes is bit-identical to
+// an uncancelled run), and a cancelled run returns ctx.Err() with no
+// partial chain.
+func RunHMCContext(ctx context.Context, ds *Dataset, prior Prior, cfg HMCConfig, rng *stats.RNG) (*Chain, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -126,6 +138,9 @@ func RunHMC(ds *Dataset, prior Prior, cfg HMCConfig, rng *stats.RNG) (*Chain, er
 	// log line below, never the samples.
 	start := time.Now() //lint:allow determinism
 	for iter := 0; iter < total; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Fresh Gaussian momentum; kinetic energy = |m|^2/2.
 		kin0 := 0.0
 		for i := range mom {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -136,6 +137,23 @@ func (r *Result) CategoryCounts() [6]int {
 // Infer runs the configured samplers over the dataset and produces
 // categorised per-AS summaries — the complete BeCAUSe pipeline of § 5.1.
 func Infer(ds *Dataset, cfg Config) (*Result, error) {
+	return InferContext(context.Background(), ds, cfg)
+}
+
+// InferContext is Infer under a context. Cancellation is cooperative at
+// sweep/trajectory granularity: every running chain returns ctx.Err()
+// within one sweep of cancellation, chains still queued on the worker pool
+// are skipped before they start, and the whole call then returns ctx.Err().
+// A run that completes is unaffected — the per-sweep check draws nothing
+// from the RNG, so the bit-identical-at-any-worker-count guarantee holds
+// with or without a cancellable context.
+func InferContext(ctx context.Context, ds *Dataset, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	if ds == nil || ds.NumPaths() == 0 {
 		return nil, fmt.Errorf("core: empty dataset")
@@ -209,7 +227,7 @@ func Infer(ds *Dataset, cfg Config) (*Result, error) {
 		hmcSpan = o.StartSpan("hmc")
 	}
 
-	pool := par.NewGroup(workers, o, "infer")
+	pool := par.NewGroupContext(ctx, workers, o, "infer")
 	chains := make([]*Chain, len(jobs))
 	errs := make([]error, len(jobs))
 	for i, job := range jobs {
@@ -224,9 +242,9 @@ func Infer(ds *Dataset, cfg Config) (*Result, error) {
 			case "mh":
 				mhCfg := cfg.MH
 				mhCfg.Chain = job.chain
-				c, err = RunMH(ds, cfg.Prior, mhCfg, job.rng)
+				c, err = RunMHContext(ctx, ds, cfg.Prior, mhCfg, job.rng)
 			default:
-				c, err = RunHMC(ds, cfg.Prior, cfg.HMC, job.rng)
+				c, err = RunHMCContext(ctx, ds, cfg.Prior, cfg.HMC, job.rng)
 			}
 			chains[i], errs[i] = c, err
 			if o != nil {
@@ -247,6 +265,13 @@ func Infer(ds *Dataset, cfg Config) (*Result, error) {
 		})
 	}
 	if err := pool.Wait(); err != nil {
+		// A cancelled context wins outright: the caller asked the run to
+		// stop, so surface ctx.Err() itself (errors.Is-able) rather than a
+		// per-chain wrapper — and deterministically, since ctx.Err() does
+		// not depend on which chain noticed the cancellation first.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
 		// Report the first failure in chain order, not completion order,
 		// so the error too is independent of scheduling.
 		for i, jobErr := range errs {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -70,6 +71,17 @@ func (c MHConfig) validate() error {
 
 // RunMH draws samples from the posterior with Metropolis–Hastings.
 func RunMH(ds *Dataset, prior Prior, cfg MHConfig, rng *stats.RNG) (*Chain, error) {
+	return RunMHContext(context.Background(), ds, prior, cfg, rng)
+}
+
+// RunMHContext is RunMH under a context: cancellation is checked once per
+// sweep (never inside one, so a run that completes is bit-identical to an
+// uncancelled run — the check draws nothing from the RNG), and a cancelled
+// run returns ctx.Err() with no partial chain.
+func RunMHContext(ctx context.Context, ds *Dataset, prior Prior, cfg MHConfig, rng *stats.RNG) (*Chain, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -100,6 +112,9 @@ func RunMH(ds *Dataset, prior Prior, cfg MHConfig, rng *stats.RNG) (*Chain, erro
 	// log line below, never the samples.
 	start := time.Now() //lint:allow determinism
 	for sweep := 0; sweep < total; sweep++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		order := rng.Perm(n)
 		for _, i := range order {
 			cur := st.p[i]

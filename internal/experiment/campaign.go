@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -209,6 +210,14 @@ func InferConfig(seed uint64) core.Config {
 // Infer runs BeCAUSe over the campaign's measurements, instrumented with
 // the scenario's observer.
 func (r *Run) Infer() (*core.Result, *core.Dataset, error) {
+	return r.InferContext(context.Background())
+}
+
+// InferContext is Infer under a context: the sampler chains stop within
+// one sweep of cancellation and the call returns ctx.Err(). The campaign
+// simulation itself already happened when a Run exists, so inference is
+// the only cancellable stage.
+func (r *Run) InferContext(ctx context.Context) (*core.Result, *core.Dataset, error) {
 	ds, err := r.Dataset()
 	if err != nil {
 		return nil, nil, err
@@ -216,7 +225,7 @@ func (r *Run) Infer() (*core.Result, *core.Dataset, error) {
 	cfg := InferConfig(r.Scenario.Config.Seed + 7)
 	cfg.Obs = r.Scenario.Obs
 	cfg.Workers = r.Scenario.Config.Workers
-	res, err := core.Infer(ds, cfg)
+	res, err := core.InferContext(ctx, ds, cfg)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -34,23 +36,69 @@ type Suite struct {
 	scenario *Scenario
 
 	mu     sync.Mutex
-	runs   map[time.Duration]*runOnce
-	infers map[time.Duration]*inferOnce
+	runs   map[time.Duration]*cell[*Run]
+	infers map[time.Duration]*cell[inferVal]
 }
 
-// runOnce / inferOnce are singleflight slots: the first caller computes
-// under once, everyone else blocks on it and reads the shared outcome.
-type runOnce struct {
-	once sync.Once
-	run  *Run
+// inferVal pairs the two outputs of an inference slot.
+type inferVal struct {
+	res *core.Result
+	ds  *core.Dataset
+}
+
+// cell is a cancellation-aware singleflight slot: the first caller (the
+// leader) computes; everyone else blocks on the leader's completion or on
+// their own context. A leader that fails with a context error resets the
+// cell instead of caching the failure — the NEXT caller recomputes — so
+// one cancelled request can never poison the suite's cache for everyone.
+// Non-context failures are cached like values, preserving the old
+// sync.Once behaviour.
+type cell[T any] struct {
+	mu   sync.Mutex
+	done chan struct{} // non-nil while computing or once settled
+	set  bool          // val/err are final
+	val  T
 	err  error
 }
 
-type inferOnce struct {
-	once sync.Once
-	res  *core.Result
-	ds   *core.Dataset
-	err  error
+// get returns the cached value, computing it if this caller is elected
+// leader. A waiter whose ctx is cancelled returns ctx.Err() without
+// disturbing the in-flight computation.
+func (c *cell[T]) get(ctx context.Context, compute func() (T, error)) (T, error) {
+	var zero T
+	c.mu.Lock()
+	for {
+		if c.set {
+			val, err := c.val, c.err
+			c.mu.Unlock()
+			return val, err
+		}
+		if c.done == nil {
+			// Become the leader.
+			done := make(chan struct{})
+			c.done = done
+			c.mu.Unlock()
+			val, err := compute()
+			c.mu.Lock()
+			if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+				c.done = nil // reset: let a future caller retry
+			} else {
+				c.set, c.val, c.err = true, val, err
+			}
+			close(done)
+			c.mu.Unlock()
+			return val, err
+		}
+		// Wait for the leader, or give up on our own context.
+		done := c.done
+		c.mu.Unlock()
+		select {
+		case <-done:
+			c.mu.Lock() // loop: read the settled value, or retry as leader
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
+	}
 }
 
 // NewSuite builds the scenario once. pairs is the number of Burst-Break
@@ -67,8 +115,8 @@ func NewSuite(cfg ScenarioConfig, pairs int) (*Suite, error) {
 		cfg:      cfg,
 		pairs:    pairs,
 		scenario: s,
-		runs:     make(map[time.Duration]*runOnce),
-		infers:   make(map[time.Duration]*inferOnce),
+		runs:     make(map[time.Duration]*cell[*Run]),
+		infers:   make(map[time.Duration]*cell[inferVal]),
 	}, nil
 }
 
@@ -81,37 +129,53 @@ func (s *Suite) Pairs() int { return s.pairs }
 // IntervalRun returns the (cached) campaign run for one update interval.
 // Concurrent callers for the same interval share one computation.
 func (s *Suite) IntervalRun(interval time.Duration) (*Run, error) {
+	return s.IntervalRunContext(context.Background(), interval)
+}
+
+// IntervalRunContext is IntervalRun under a context. The campaign
+// simulation itself is not cancellable mid-flight, but a waiter blocked on
+// another caller's computation returns ctx.Err() as soon as its context
+// is cancelled.
+func (s *Suite) IntervalRunContext(ctx context.Context, interval time.Duration) (*Run, error) {
 	s.mu.Lock()
 	slot, ok := s.runs[interval]
 	if !ok {
-		slot = &runOnce{}
+		slot = &cell[*Run]{}
 		s.runs[interval] = slot
 	}
 	s.mu.Unlock()
-	slot.once.Do(func() {
-		slot.run, slot.err = s.scenario.RunCampaign(IntervalCampaign(interval, s.pairs))
+	return slot.get(ctx, func() (*Run, error) {
+		return s.scenario.RunCampaign(IntervalCampaign(interval, s.pairs))
 	})
-	return slot.run, slot.err
 }
 
 // Inference returns the (cached) BeCAUSe result for one interval.
 // Concurrent callers for the same interval share one computation.
 func (s *Suite) Inference(interval time.Duration) (*core.Result, *core.Dataset, error) {
+	return s.InferenceContext(context.Background(), interval)
+}
+
+// InferenceContext is Inference under a context: a leader's sampler chains
+// stop within one sweep of cancellation, a cancelled leader's slot is
+// recomputed by the next caller rather than cached, and cancelled waiters
+// return ctx.Err() immediately.
+func (s *Suite) InferenceContext(ctx context.Context, interval time.Duration) (*core.Result, *core.Dataset, error) {
 	s.mu.Lock()
 	slot, ok := s.infers[interval]
 	if !ok {
-		slot = &inferOnce{}
+		slot = &cell[inferVal]{}
 		s.infers[interval] = slot
 	}
 	s.mu.Unlock()
-	slot.once.Do(func() {
-		var run *Run
-		if run, slot.err = s.IntervalRun(interval); slot.err != nil {
-			return
+	v, err := slot.get(ctx, func() (inferVal, error) {
+		run, err := s.IntervalRunContext(ctx, interval)
+		if err != nil {
+			return inferVal{}, err
 		}
-		slot.res, slot.ds, slot.err = run.Infer()
+		res, ds, err := run.InferContext(ctx)
+		return inferVal{res: res, ds: ds}, err
 	})
-	return slot.res, slot.ds, slot.err
+	return v.res, v.ds, err
 }
 
 // Prewarm computes the campaign run and inference for every interval on a
@@ -122,8 +186,15 @@ func (s *Suite) Inference(interval time.Duration) (*core.Result, *core.Dataset, 
 // Errors are reported deterministically — the first failing interval in
 // the given order wins, not the first to fail on the clock.
 func (s *Suite) Prewarm(intervals []time.Duration) error {
-	return s.prewarm(intervals, func(iv time.Duration) error {
-		_, _, err := s.Inference(iv)
+	return s.PrewarmContext(context.Background(), intervals)
+}
+
+// PrewarmContext is Prewarm under a context: a cancelled context skips
+// intervals still queued on the pool, stops running inferences within one
+// sweep, and returns ctx.Err().
+func (s *Suite) PrewarmContext(ctx context.Context, intervals []time.Duration) error {
+	return s.prewarm(ctx, intervals, func(iv time.Duration) error {
+		_, _, err := s.InferenceContext(ctx, iv)
 		return err
 	})
 }
@@ -132,17 +203,17 @@ func (s *Suite) Prewarm(intervals []time.Duration) error {
 // campaign simulations. The distribution figures (e.g. Figure 13) read raw
 // measurements and never need the sampler output.
 func (s *Suite) PrewarmRuns(intervals []time.Duration) error {
-	return s.prewarm(intervals, func(iv time.Duration) error {
+	return s.prewarm(context.Background(), intervals, func(iv time.Duration) error {
 		_, err := s.IntervalRun(iv)
 		return err
 	})
 }
 
-func (s *Suite) prewarm(intervals []time.Duration, warm func(time.Duration) error) error {
+func (s *Suite) prewarm(ctx context.Context, intervals []time.Duration, warm func(time.Duration) error) error {
 	if len(intervals) == 0 {
 		intervals = PaperIntervals
 	}
-	pool := par.NewGroup(s.cfg.Workers, s.scenario.Obs, "experiments")
+	pool := par.NewGroupContext(ctx, s.cfg.Workers, s.scenario.Obs, "experiments")
 	errs := make([]error, len(intervals))
 	for i, iv := range intervals {
 		i, iv := i, iv
@@ -152,6 +223,9 @@ func (s *Suite) prewarm(intervals []time.Duration, warm func(time.Duration) erro
 		})
 	}
 	if err := pool.Wait(); err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return ctxErr
+		}
 		for _, e := range errs {
 			if e != nil {
 				return e

@@ -19,6 +19,11 @@ var DefaultDeterminismPaths = []string{
 	"internal/rfd",
 	"internal/label",
 	"internal/experiment",
+	// internal/serve caches and serves inference results keyed by request
+	// content; any clock dependence there would make cache behaviour (and
+	// therefore responses) time-sensitive. Its two latency-metric timings
+	// carry justified //lint:allow annotations.
+	"internal/serve",
 }
 
 // wallClockFuncs are the time-package functions whose results depend on

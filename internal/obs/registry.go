@@ -47,6 +47,18 @@ const (
 	MetricLabelPaths       = "because_label_paths_total"
 	MetricLabelRFDPaths    = "because_label_rfd_paths_total"
 	MetricLabelPairs       = "because_label_pairs_total"
+
+	// becaused serving metrics. Requests is labeled endpoint="infer"|
+	// "healthz" and code="200"|"429"|... ; the gauges track the job queue
+	// (InFlight = jobs currently sampling, QueueDepth = admitted jobs
+	// waiting for a worker); the cache counters expose the result cache's
+	// effectiveness.
+	MetricServeRequests    = "because_serve_requests_total"
+	MetricServeInFlight    = "because_serve_inflight_jobs"
+	MetricServeQueueDepth  = "because_serve_queue_depth"
+	MetricServeCacheHits   = "because_serve_cache_hits_total"
+	MetricServeCacheMisses = "because_serve_cache_misses_total"
+	MetricServeJobSeconds  = "because_serve_job_duration_seconds"
 )
 
 // DurationBuckets are the default histogram buckets for stage spans, in

@@ -12,6 +12,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -31,6 +32,7 @@ func Workers(n int) int {
 // usable; construct with NewGroup. A Group may be used for one wave of
 // tasks: submit with Go, then Wait. It must not be reused after Wait.
 type Group struct {
+	ctx  context.Context
 	sem  chan struct{}
 	wg   sync.WaitGroup
 	mu   sync.Mutex
@@ -45,7 +47,21 @@ type Group struct {
 // (workers < 1 selects GOMAXPROCS). The observer, when non-nil, receives a
 // busy-worker gauge and a completed-task counter labeled pool=name.
 func NewGroup(workers int, o *obs.Observer, name string) *Group {
-	g := &Group{sem: make(chan struct{}, Workers(workers))}
+	return NewGroupContext(context.Background(), workers, o, name)
+}
+
+// NewGroupContext is NewGroup bound to a context: once ctx is cancelled,
+// tasks submitted (or still queued behind the semaphore) are skipped
+// before they start, and the group records ctx.Err() so Wait reports the
+// cancellation. Tasks already running are NOT interrupted — cooperative
+// cancellation inside the task (e.g. a sampler checking ctx per sweep) is
+// the caller's job. Determinism contract unchanged: skipping never writes
+// a result slot, and the caller only reads slots after an error-free Wait.
+func NewGroupContext(ctx context.Context, workers int, o *obs.Observer, name string) *Group {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	g := &Group{ctx: ctx, sem: make(chan struct{}, Workers(workers))}
 	if o != nil {
 		g.busy = o.Gauge(obs.MetricPoolBusy, "pool", name)
 		g.tasks = o.Counter(obs.MetricPoolTasks, "pool", name)
@@ -55,12 +71,20 @@ func NewGroup(workers int, o *obs.Observer, name string) *Group {
 
 // Go submits one task. It blocks until a worker slot frees up (bounding
 // both concurrency and the submission loop), then runs f on its own
-// goroutine. After any task has failed, subsequent tasks are skipped —
-// their slots are never written, which is fine because the caller only
-// reads results after an error-free Wait.
+// goroutine. After any task has failed — or the group's context has been
+// cancelled — subsequent tasks are skipped: their slots are never written,
+// which is fine because the caller only reads results after an error-free
+// Wait.
 func (g *Group) Go(f func() error) {
 	g.sem <- struct{}{}
 	if g.failed() {
+		<-g.sem
+		return
+	}
+	if err := g.ctx.Err(); err != nil {
+		// Record the cancellation as the group error (first failure wins),
+		// so a Wait over skipped tasks still reports why nothing ran.
+		g.record(err)
 		<-g.sem
 		return
 	}
@@ -75,13 +99,19 @@ func (g *Group) Go(f func() error) {
 		g.busy.Add(-1)
 		g.tasks.Inc()
 		if err != nil {
-			g.mu.Lock()
-			if !g.fail {
-				g.fail, g.err = true, err
-			}
-			g.mu.Unlock()
+			g.record(err)
 		}
 	}()
+}
+
+// record notes the first failure; later errors are dropped (callers that
+// need a deterministic pick collect per-task errors themselves).
+func (g *Group) record(err error) {
+	g.mu.Lock()
+	if !g.fail {
+		g.fail, g.err = true, err
+	}
+	g.mu.Unlock()
 }
 
 // Wait blocks until every submitted task has finished and returns the

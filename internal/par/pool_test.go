@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -131,6 +132,66 @@ func TestGroupStress(t *testing.T) {
 		if v != i*i {
 			t.Fatalf("slot %d = %d, want %d", i, v, i*i)
 		}
+	}
+}
+
+func TestGroupContextCancelSkipsQueuedTasks(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := NewGroupContext(ctx, 1, nil, "test")
+	var ran atomic.Int64
+	release := make(chan struct{})
+	g.Go(func() error {
+		ran.Add(1)
+		cancel() // cancel while occupying the only worker
+		<-release
+		return nil
+	})
+	// These submissions queue behind the running task (the first Go call
+	// holds the only worker slot); by the time they acquire it the context
+	// is cancelled, so every one of them must be skipped.
+	var submitted sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		submitted.Add(1)
+		go func() {
+			defer submitted.Done()
+			g.Go(func() error { ran.Add(1); return nil })
+		}()
+	}
+	close(release)
+	submitted.Wait()
+	if err := g.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 1 {
+		t.Fatalf("ran %d tasks, want exactly the pre-cancellation one", ran.Load())
+	}
+}
+
+func TestGroupContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := NewGroupContext(ctx, 4, nil, "test")
+	var ran atomic.Int64
+	for i := 0; i < 16; i++ {
+		g.Go(func() error { ran.Add(1); return nil })
+	}
+	if err := g.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d tasks ran under a pre-cancelled context", ran.Load())
+	}
+}
+
+func TestGroupNilContext(t *testing.T) {
+	g := NewGroupContext(nil, 2, nil, "test") //nolint:staticcheck // nil ctx tolerance is part of the API contract
+	var ran atomic.Int64
+	g.Go(func() error { ran.Add(1); return nil })
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 1 {
+		t.Fatal("task skipped under nil context")
 	}
 }
 

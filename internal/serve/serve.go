@@ -1,0 +1,370 @@
+// Package serve implements becaused's long-running HTTP inference
+// service: POST an observation set as JSON, get back a versioned Result
+// document. Three properties make it a service rather than a CGI wrapper
+// around because.Infer:
+//
+//   - Bounded job queue with backpressure. At most Config.Jobs inferences
+//     sample concurrently; up to Config.QueueDepth more may wait. Beyond
+//     that, requests are rejected immediately with 429 and a Retry-After
+//     header instead of piling goroutines onto a saturated machine.
+//   - Deterministic result cache. Inference is bit-identical for identical
+//     (observations, options, seed) — the reproducibility harness pins
+//     that down — so results are cached under a hash of the canonicalised
+//     request and repeated queries are O(1). The X-Cache response header
+//     and the because_serve_cache_* counters expose hits and misses.
+//   - Graceful shutdown. Shutdown stops admitting new jobs (healthz flips
+//     to 503 for load-balancers) and drains requests already in flight,
+//     so a SIGTERM never discards completed sampling work.
+//
+// Cancellation rides the request context: a client that disconnects stops
+// its queued job before it starts, or its running chains within one sweep.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"because"
+	"because/internal/obs"
+	"because/internal/par"
+)
+
+// InferFunc is the inference entry point the server drives; production use
+// is because.InferContext, tests inject fakes.
+type InferFunc func(ctx context.Context, observations []because.PathObservation, opts because.Options) (*because.Result, error)
+
+// Config configures the service. The zero value is usable: GOMAXPROCS
+// concurrent jobs, twice that many queue slots, a 128-entry cache,
+// sequential chains within each job, and no observability.
+type Config struct {
+	// Jobs bounds how many inference jobs sample concurrently
+	// (0 selects GOMAXPROCS).
+	Jobs int
+	// QueueDepth is how many admitted jobs may wait for a worker beyond
+	// the running ones (0 selects 2×Jobs; negative means no waiting room —
+	// reject whenever every worker is busy).
+	QueueDepth int
+	// CacheSize is the result-cache capacity in entries (0 selects 128;
+	// negative disables caching).
+	CacheSize int
+	// ChainWorkers is Options.Workers for each job — how many chains of
+	// one inference run concurrently (0 selects 1: job-level parallelism
+	// comes from Jobs, and results are identical at any setting anyway).
+	ChainWorkers int
+	// MaxBodyBytes caps request bodies (0 selects 32 MiB).
+	MaxBodyBytes int64
+	// Obs receives the serving metrics and logs; nil is a no-op.
+	Obs *obs.Observer
+	// Infer overrides the inference entry point (nil selects
+	// because.InferContext).
+	Infer InferFunc
+}
+
+// statusClientClosedRequest is the nginx-convention status recorded when
+// the client disconnected before its job finished; the client never sees
+// it, but the request counter does.
+const statusClientClosedRequest = 499
+
+// retryAfterSeconds is the backoff hint sent with 429 responses. A fixed
+// hint keeps the handler free of wall-clock reads; queue wait times are
+// workload-dependent anyway, and the gauges are the real signal.
+const retryAfterSeconds = 1
+
+// Server is the inference service. Construct with New; serve either via
+// Handler (to mount on an existing mux / httptest) or Start + Shutdown.
+type Server struct {
+	cfg      Config
+	o        *obs.Observer
+	infer    InferFunc
+	cache    *lruCache
+	slots    chan struct{} // admission tokens: running + waiting
+	run      chan struct{} // running tokens
+	maxBody  int64
+	draining atomic.Bool
+
+	httpSrv *http.Server
+	lis     net.Listener
+
+	inflight   *obs.Gauge
+	queued     *obs.Gauge
+	hits       *obs.Counter
+	misses     *obs.Counter
+	jobSeconds *obs.Histogram
+}
+
+// New builds a Server from the config.
+func New(cfg Config) *Server {
+	jobs := par.Workers(cfg.Jobs)
+	queue := cfg.QueueDepth
+	if queue == 0 {
+		queue = 2 * jobs
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	cacheSize := cfg.CacheSize
+	if cacheSize == 0 {
+		cacheSize = 128
+	}
+	var cache *lruCache
+	if cacheSize > 0 {
+		cache = newLRUCache(cacheSize)
+	}
+	maxBody := cfg.MaxBodyBytes
+	if maxBody == 0 {
+		maxBody = 32 << 20
+	}
+	infer := cfg.Infer
+	if infer == nil {
+		infer = because.InferContext
+	}
+	o := cfg.Obs
+	return &Server{
+		cfg:     cfg,
+		o:       o,
+		infer:   infer,
+		cache:   cache,
+		slots:   make(chan struct{}, jobs+queue),
+		run:     make(chan struct{}, jobs),
+		maxBody: maxBody,
+
+		inflight:   o.Gauge(obs.MetricServeInFlight),
+		queued:     o.Gauge(obs.MetricServeQueueDepth),
+		hits:       o.Counter(obs.MetricServeCacheHits),
+		misses:     o.Counter(obs.MetricServeCacheMisses),
+		jobSeconds: o.Histogram(obs.MetricServeJobSeconds, nil),
+	}
+}
+
+// Handler returns the service's HTTP handler: POST /v1/infer, GET
+// /healthz, GET /metrics.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/infer", s.instrument("infer", s.handleInfer))
+	mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
+	return mux
+}
+
+// Start listens on addr (":0" picks a free port) and serves in the
+// background until Shutdown. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.lis = lis
+	s.httpSrv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go s.httpSrv.Serve(lis) //nolint:errcheck // Serve returns ErrServerClosed on Shutdown
+	return lis.Addr().String(), nil
+}
+
+// Shutdown drains the server: new inference jobs are refused with 503
+// (and healthz reports draining, so load-balancers stop routing here),
+// while requests already admitted run to completion. It returns when
+// every in-flight request has finished or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.o.Log(obs.LevelInfo, "becaused draining", "inflight", s.inflight.Value(), "queued", s.queued.Value())
+	if s.httpSrv == nil {
+		return nil
+	}
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// instrument wraps a handler with the per-endpoint request/status counter.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		code := sw.status
+		if code == 0 {
+			code = http.StatusOK
+		}
+		s.o.Counter(obs.MetricServeRequests, "endpoint", endpoint, "code", strconv.Itoa(code)).Inc()
+	}
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		jsonError(w, http.StatusMethodNotAllowed, "GET only", "")
+		return
+	}
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		jsonError(w, http.StatusMethodNotAllowed, "GET only", "")
+		return
+	}
+	var reg *obs.Registry
+	if s.o != nil {
+		reg = s.o.Metrics
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	reg.WritePrometheus(w) //nolint:errcheck // client-side write failures are the client's problem
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		jsonError(w, http.StatusMethodNotAllowed, "POST only", "")
+		return
+	}
+	if s.draining.Load() {
+		jsonError(w, http.StatusServiceUnavailable, "server is draining", "")
+		return
+	}
+	var req InferRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err := dec.Decode(&req); err != nil {
+		jsonError(w, http.StatusBadRequest, "malformed request body: "+err.Error(), "")
+		return
+	}
+	if req.SchemaVersion != 0 && req.SchemaVersion != because.SchemaVersion {
+		jsonError(w, http.StatusBadRequest,
+			fmt.Sprintf("unsupported schema_version %d (this server speaks %d)", req.SchemaVersion, because.SchemaVersion),
+			"schema_version")
+		return
+	}
+	observations, opts, err := req.toOptions(s.cfg.ChainWorkers, s.o)
+	if err == nil && len(observations) == 0 {
+		err = because.ErrNoObservations
+	}
+	if err == nil {
+		err = opts.Validate()
+	}
+	if err != nil {
+		// Typed API errors pick the status: semantic validation failures
+		// are 422, anything else at this stage is a bad request.
+		code := http.StatusBadRequest
+		if errors.Is(err, because.ErrInvalidOptions) || errors.Is(err, because.ErrNoObservations) {
+			code = http.StatusUnprocessableEntity
+		}
+		jsonError(w, code, err.Error(), validationField(err))
+		return
+	}
+
+	key := requestKey(observations, opts)
+	if s.cache != nil {
+		if payload, ok := s.cache.get(key); ok {
+			s.hits.Inc()
+			writeResult(w, payload, true)
+			return
+		}
+		s.misses.Inc()
+	}
+
+	// Admission: a free slot means we may wait for a worker; no slot means
+	// the queue is full and the honest answer is backpressure, now.
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		jsonError(w, http.StatusTooManyRequests, "job queue full, retry later", "")
+		return
+	}
+	defer func() { <-s.slots }()
+
+	s.queued.Add(1)
+	select {
+	case s.run <- struct{}{}:
+		s.queued.Add(-1)
+	case <-r.Context().Done():
+		s.queued.Add(-1)
+		jsonError(w, statusClientClosedRequest, "client closed request", "")
+		return
+	}
+	defer func() { <-s.run }()
+
+	s.inflight.Add(1)
+	// Observability-only timing: feeds the job-duration histogram, never
+	// the inference itself.
+	start := time.Now() //lint:allow determinism
+	res, err := s.infer(r.Context(), observations, opts)
+	s.jobSeconds.Observe(time.Since(start).Seconds()) //lint:allow determinism — observability-only
+	s.inflight.Add(-1)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			jsonError(w, statusClientClosedRequest, "client closed request", "")
+		case errors.Is(err, because.ErrInvalidOptions) || errors.Is(err, because.ErrNoObservations):
+			jsonError(w, http.StatusUnprocessableEntity, err.Error(), validationField(err))
+		default:
+			jsonError(w, http.StatusInternalServerError, err.Error(), "")
+		}
+		return
+	}
+	payload, err := json.Marshal(res)
+	if err != nil {
+		jsonError(w, http.StatusInternalServerError, "encoding result: "+err.Error(), "")
+		return
+	}
+	if s.cache != nil {
+		s.cache.put(key, payload)
+	}
+	writeResult(w, payload, false)
+}
+
+// validationField extracts the offending field name from a
+// *ValidationError, or "".
+func validationField(err error) string {
+	var ve *because.ValidationError
+	if errors.As(err, &ve) {
+		return ve.Field
+	}
+	return ""
+}
+
+// writeResult sends the versioned success envelope. result is the
+// marshalled because.Result document (itself schema-versioned).
+func writeResult(w http.ResponseWriter, result []byte, cached bool) {
+	state := "miss"
+	if cached {
+		state = "hit"
+	}
+	w.Header().Set("X-Cache", state)
+	writeJSON(w, http.StatusOK, struct {
+		SchemaVersion int             `json:"schema_version"`
+		Cached        bool            `json:"cached"`
+		Result        json.RawMessage `json:"result"`
+	}{because.SchemaVersion, cached, result})
+}
+
+// jsonError sends the versioned error envelope.
+func jsonError(w http.ResponseWriter, code int, msg, field string) {
+	writeJSON(w, code, struct {
+		SchemaVersion int    `json:"schema_version"`
+		Error         string `json:"error"`
+		Field         string `json:"field,omitempty"`
+	}{because.SchemaVersion, msg, field})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client-side write failures are the client's problem
+}

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"because"
+	"because/internal/obs"
+)
+
+// InferRequest is the POST /v1/infer body. Unknown fields are ignored
+// (additive schema evolution); schema_version, when present, must match
+// the server's because.SchemaVersion.
+type InferRequest struct {
+	SchemaVersion int             `json:"schema_version,omitempty"`
+	Observations  []Observation   `json:"observations"`
+	Options       RequestOptions  `json:"options"`
+}
+
+// Observation is one labeled path measurement on the wire — the same
+// shape becausectl reads.
+type Observation struct {
+	Path     []because.ASN `json:"path"`
+	Positive bool          `json:"positive"`
+	Weight   float64       `json:"weight,omitempty"`
+}
+
+// RequestOptions is the wire form of because.Options. Every field is
+// optional; zero values select the paper defaults. Worker counts are
+// deliberately absent: results are bit-identical at any worker count, so
+// parallelism is a server deployment knob, not a query parameter (and it
+// must not fragment the result cache).
+type RequestOptions struct {
+	Seed              uint64  `json:"seed,omitempty"`
+	Prior             string  `json:"prior,omitempty"` // "", "sparse", "uniform", "centered"
+	MHSweeps          int     `json:"mh_sweeps,omitempty"`
+	MHBurnIn          int     `json:"mh_burn_in,omitempty"`
+	DisableMH         bool    `json:"disable_mh,omitempty"`
+	HMCIterations     int     `json:"hmc_iterations,omitempty"`
+	HMCBurnIn         int     `json:"hmc_burn_in,omitempty"`
+	DisableHMC        bool    `json:"disable_hmc,omitempty"`
+	Chains            int     `json:"chains,omitempty"`
+	HDPIMass          float64 `json:"hdpi_mass,omitempty"`
+	PinpointThreshold float64 `json:"pinpoint_threshold,omitempty"`
+	MissRate          float64 `json:"miss_rate,omitempty"`
+}
+
+// toOptions converts the wire request into API inputs. chainWorkers and
+// the observer are server-side settings layered on top.
+func (r *InferRequest) toOptions(chainWorkers int, o *obs.Observer) ([]because.PathObservation, because.Options, error) {
+	opts := because.Options{
+		Seed:          r.Options.Seed,
+		MHSweeps:      r.Options.MHSweeps,
+		MHBurnIn:      r.Options.MHBurnIn,
+		DisableMH:     r.Options.DisableMH,
+		HMCIterations: r.Options.HMCIterations,
+		HMCBurnIn:     r.Options.HMCBurnIn,
+		DisableHMC:    r.Options.DisableHMC,
+		Chains:        r.Options.Chains,
+		HDPIMass:      r.Options.HDPIMass,
+		PinpointThreshold: r.Options.PinpointThreshold,
+		MissRate:      r.Options.MissRate,
+		Workers:       chainWorkers,
+		Obs:           o,
+	}
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	switch r.Options.Prior {
+	case "", "sparse":
+		opts.Prior = because.PriorSparse
+	case "uniform":
+		opts.Prior = because.PriorUniform
+	case "centered":
+		opts.Prior = because.PriorCentered
+	default:
+		return nil, opts, &because.ValidationError{Field: "prior", Reason: fmt.Sprintf("unknown prior %q (want sparse, uniform or centered)", r.Options.Prior)}
+	}
+	observations := make([]because.PathObservation, len(r.Observations))
+	for i, ob := range r.Observations {
+		observations[i] = because.PathObservation{Path: ob.Path, ShowsProperty: ob.Positive, Weight: ob.Weight}
+	}
+	return observations, opts, nil
+}
+
+// requestKey hashes the canonicalised request — observations in order,
+// semantic options post-default, the seed, and the wire schema version —
+// into the cache key. Two requests share a key exactly when Infer is
+// guaranteed to produce bit-identical results for them: observation order
+// is preserved (it fixes the dataset's node order and therefore the RNG
+// stream consumption), while worker counts and observability hooks are
+// excluded (they never change a single output bit).
+func requestKey(observations []because.PathObservation, o because.Options) string {
+	h := sha256.New()
+	c := canonicalOptions(o)
+	fmt.Fprintf(h, "v%d|seed=%d|prior=%g,%g|mh=%d,%d,%t|hmc=%d,%d,%t|chains=%d|mass=%g|pin=%g|miss=%g|",
+		because.SchemaVersion, c.Seed,
+		c.Prior.Alpha, c.Prior.Beta,
+		c.MHSweeps, c.MHBurnIn, c.DisableMH,
+		c.HMCIterations, c.HMCBurnIn, c.DisableHMC,
+		c.Chains, c.HDPIMass, c.PinpointThreshold, c.MissRate)
+	for _, ob := range observations {
+		for _, a := range ob.Path {
+			fmt.Fprintf(h, "%d,", a)
+		}
+		w := ob.Weight
+		if w == 0 {
+			w = 1 // Weight 0 means "default 1" on the API
+		}
+		fmt.Fprintf(h, ";%t;%g|", ob.ShowsProperty, w)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// canonicalOptions normalises every semantic knob to its post-default
+// value (mirroring the documented defaults of Options and the core
+// samplers), so `{}` and the spelled-out paper settings share one cache
+// entry. Non-semantic knobs (Workers, Obs, progress callbacks) are
+// dropped entirely.
+func canonicalOptions(o because.Options) because.Options {
+	c := because.Options{
+		Seed:       o.Seed,
+		Prior:      o.Prior,
+		MHSweeps:   o.MHSweeps,
+		MHBurnIn:   o.MHBurnIn,
+		DisableMH:  o.DisableMH,
+		DisableHMC: o.DisableHMC,
+		Chains:     o.Chains,
+		HDPIMass:   o.HDPIMass,
+		MissRate:   o.MissRate,
+
+		HMCIterations:     o.HMCIterations,
+		HMCBurnIn:         o.HMCBurnIn,
+		PinpointThreshold: o.PinpointThreshold,
+	}
+	if c.Prior == (because.Prior{}) {
+		c.Prior = because.PriorSparse
+	}
+	if c.MHSweeps == 0 {
+		c.MHSweeps = 1500
+	}
+	if c.MHBurnIn == 0 {
+		c.MHBurnIn = c.MHSweeps / 4
+	}
+	if c.HMCIterations == 0 {
+		c.HMCIterations = 800
+	}
+	if c.HMCBurnIn == 0 {
+		c.HMCBurnIn = c.HMCIterations / 4
+	}
+	if c.Chains < 1 {
+		c.Chains = 1
+	}
+	if c.HDPIMass == 0 {
+		c.HDPIMass = 0.95
+	}
+	if c.PinpointThreshold == 0 {
+		c.PinpointThreshold = 0.8
+	}
+	return c
+}

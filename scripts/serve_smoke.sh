@@ -1,0 +1,65 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke test of the becaused serving daemon.
+#
+# Builds bin/becaused, starts it on an ephemeral port, POSTs a small
+# inference twice (asserting 200 and a cache hit on the repeat), checks the
+# cache counter on /metrics, then SIGTERMs the daemon and asserts a clean
+# drain (exit 0). Needs only sh + curl + the Go toolchain.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+log() { echo "serve-smoke: $*"; }
+fail() { log "FAIL: $*"; exit 1; }
+
+go build -o bin/becaused ./cmd/becaused
+
+OUT=$(mktemp)
+BODY=$(mktemp)
+trap 'kill "$PID" 2>/dev/null || true; rm -f "$OUT" "$BODY"' EXIT
+
+bin/becaused -addr 127.0.0.1:0 -chain-workers 2 >"$OUT" 2>&1 &
+PID=$!
+
+# The daemon prints "becaused: listening on <addr>" once bound.
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's/^becaused: listening on //p' "$OUT")
+    [ -n "$ADDR" ] && break
+    kill -0 "$PID" 2>/dev/null || fail "daemon died during startup: $(cat "$OUT")"
+    sleep 0.1
+done
+[ -n "$ADDR" ] || fail "daemon never reported its address: $(cat "$OUT")"
+log "daemon up on $ADDR (pid $PID)"
+
+REQ='{"observations":[{"path":[64500,64510],"positive":true},{"path":[64500,64520],"positive":false},{"path":[64501,64510],"positive":true}],"options":{"seed":1,"mh_sweeps":200,"mh_burn_in":50,"hmc_iterations":50,"hmc_burn_in":10}}'
+
+CODE=$(curl -s -o "$BODY" -w '%{http_code}' "http://$ADDR/healthz")
+[ "$CODE" = 200 ] || fail "healthz returned $CODE"
+
+CODE=$(curl -s -o "$BODY" -w '%{http_code}' -X POST -d "$REQ" "http://$ADDR/v1/infer")
+[ "$CODE" = 200 ] || fail "first inference returned $CODE: $(cat "$BODY")"
+grep -q '"schema_version":1' "$BODY" || fail "response missing schema_version: $(cat "$BODY")"
+grep -q '"cached":false' "$BODY" || fail "first response claims to be cached: $(cat "$BODY")"
+log "first inference OK (miss)"
+
+HDRS=$(mktemp)
+CODE=$(curl -s -o "$BODY" -D "$HDRS" -w '%{http_code}' -X POST -d "$REQ" "http://$ADDR/v1/infer")
+[ "$CODE" = 200 ] || fail "repeat inference returned $CODE: $(cat "$BODY")"
+grep -qi '^x-cache: hit' "$HDRS" || fail "repeat query not a cache hit: $(cat "$HDRS")"
+rm -f "$HDRS"
+grep -q '"cached":true' "$BODY" || fail "repeat response not marked cached: $(cat "$BODY")"
+log "repeat inference served from cache"
+
+curl -s "http://$ADDR/metrics" >"$BODY"
+grep -q '^because_serve_cache_hits_total 1$' "$BODY" || fail "cache hit counter wrong: $(grep because_serve "$BODY" || true)"
+grep -q '^because_serve_cache_misses_total 1$' "$BODY" || fail "cache miss counter wrong: $(grep because_serve "$BODY" || true)"
+log "metrics exposition OK"
+
+kill -TERM "$PID"
+if ! wait "$PID"; then
+    fail "daemon exited non-zero after SIGTERM: $(cat "$OUT")"
+fi
+grep -q 'becaused: drained, exiting' "$OUT" || fail "daemon did not report a clean drain: $(cat "$OUT")"
+log "SIGTERM drained cleanly"
+log "PASS"

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test tier1 vet lint becauselint race verify bench fuzz serve-smoke clean
+.PHONY: all build test tier1 vet lint becauselint wire-lock race verify bench fuzz serve-smoke clean
 
 # Short fuzzing budget per target; raise for a real fuzzing session, e.g.
 #   make fuzz FUZZTIME=10m
@@ -24,13 +24,21 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the project-specific analyzers (determinism, maporder,
-# rngshare, obsnil — see `becauselint -list`). Exit 1 on any finding.
+# rngshare, obsnil, ctxflow, errflow, wiredrift — see
+# `becauselint -list`). Exit 1 on any finding.
 lint:
 	$(GO) run ./cmd/becauselint ./...
 
 # becauselint builds the standalone linter binary into bin/.
 becauselint:
 	$(GO) build -o bin/becauselint ./cmd/becauselint
+
+# wire-lock regenerates wire.lock from the current JSON wire surface.
+# Run after any schema change; the regeneration refuses non-additive
+# changes until SchemaVersion is bumped, and CI fails if the committed
+# lock is stale.
+wire-lock:
+	$(GO) run ./cmd/becauselint -write-wire-lock
 
 # race runs the whole suite under the race detector, then stresses the
 # worker-pool and reproducibility tests twice over (-count=2 defeats the

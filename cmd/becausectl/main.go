@@ -236,7 +236,7 @@ func decode(r io.Reader) ([]record, error) {
 	var out []record
 	for {
 		var rec record
-		if err := dec.Decode(&rec); err == io.EOF {
+		if err := dec.Decode(&rec); errors.Is(err, io.EOF) {
 			break
 		} else if err != nil {
 			return nil, fmt.Errorf("parsing input: %w", err)

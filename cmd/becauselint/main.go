@@ -4,7 +4,9 @@
 //
 //	becauselint ./...             lint the whole module
 //	becauselint -json ./...       machine-readable findings
+//	becauselint -sarif ./...      SARIF 2.1.0 log (GitHub code scanning)
 //	becauselint -list             describe the analyzers
+//	becauselint -write-wire-lock  regenerate wire.lock from the source
 //
 // A finding can be suppressed — with justification — by a
 //
@@ -35,14 +37,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("becauselint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
+	sarifOut := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log instead of text")
 	list := fs.Bool("list", false, "describe the analyzers and exit")
 	only := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
 	keepUnused := fs.Bool("keep-unused-allows", false, "do not report //lint:allow directives that suppress nothing")
+	writeWireLock := fs.Bool("write-wire-lock", false, "regenerate wire.lock from the current JSON wire surface and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	analyzers := lint.All()
+	if *writeWireLock {
+		cwd, err := os.Getwd()
+		if err != nil {
+			fmt.Fprintf(stderr, "becauselint: %v\n", err)
+			return 2
+		}
+		path, err := lint.WriteWireLock(cwd)
+		if err != nil {
+			fmt.Fprintf(stderr, "becauselint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "becauselint: wrote %s\n", path)
+		return 0
+	}
 	if *list {
 		for _, a := range analyzers {
 			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
@@ -84,7 +102,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "becauselint: %v\n", err)
 		return 2
 	}
-	if *jsonOut {
+	switch {
+	case *sarifOut:
+		out, err := lint.ToSARIF(diags, analyzers)
+		if err != nil {
+			fmt.Fprintf(stderr, "becauselint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintln(stdout, string(out))
+	case *jsonOut:
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
@@ -94,7 +120,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "becauselint: %v\n", err)
 			return 2
 		}
-	} else {
+	default:
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d)
 		}

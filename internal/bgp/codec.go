@@ -409,7 +409,7 @@ func decodePrefixes(data []byte) ([]Prefix, error) {
 		copy(a4[:], data[1:1+nb])
 		p, err := netip.AddrFrom4(a4).Prefix(bits)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadPrefix, err)
+			return nil, fmt.Errorf("%w: %w", ErrBadPrefix, err)
 		}
 		out = append(out, p)
 		data = data[1+nb:]

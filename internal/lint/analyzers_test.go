@@ -79,6 +79,56 @@ func TestObsNilGolden(t *testing.T) {
 	checkGolden(t, "obsnil", got)
 }
 
+func TestCtxFlowGolden(t *testing.T) {
+	got := runFixture(t, CtxFlow(), "ctxflow")
+	checkGolden(t, "ctxflow", got)
+}
+
+func TestErrFlowGolden(t *testing.T) {
+	got := runFixture(t, ErrFlow(), "errflow")
+	checkGolden(t, "errflow", got)
+}
+
+// TestWireDriftGolden points the analyzer at a fixture package whose
+// committed wire.lock predates its current source: every drift class
+// (tag rename, field growth, new struct, deleted struct) fires at once.
+func TestWireDriftGolden(t *testing.T) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := wireDrift(wireDriftConfig{
+		pkgSuffixes: []string{"testdata/src/wiredrift"},
+		lockPath:    filepath.Join(cwd, "testdata", "src", "wiredrift", "wire.lock"),
+	})
+	got := runFixture(t, a, "wiredrift")
+	checkGolden(t, "wiredrift", got)
+}
+
+// TestAllowMultiGolden exercises comma-separated directives: one
+// comment suppressing two analyzers at once, and per-analyzer
+// staleness reported at the directive's own column.
+func TestAllowMultiGolden(t *testing.T) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(cwd, []string{"./testdata/src/allowmulti"}, Options{
+		Analyzers: []*Analyzer{MapOrder(), ErrFlow()},
+		RelTo:     cwd,
+	})
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(filepath.ToSlash(d.File))
+		b.WriteString(d.String()[len(d.File):])
+		b.WriteByte('\n')
+	}
+	checkGolden(t, "allowmulti", b.String())
+}
+
 // TestDeterminismDefaultPathsIgnoreOtherPackages proves the analyzer's
 // package scoping: with the production path list, the fixture package
 // (which is full of violations) is out of scope and produces nothing.

@@ -1,0 +1,259 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// ErrFlow returns the analyzer that enforces PR 4's error-contract
+// rules: errors must stay inspectable through wrapping.
+//
+// Three rules:
+//
+//  1. fmt.Errorf with an error operand under a stringifying verb
+//     (%v, %s, %q) flattens the chain — callers can no longer reach the
+//     cause with errors.Is/As. Use %w (Go 1.20+ allows several per
+//     format).
+//
+//  2. Comparing an error against a package-level sentinel with == or !=
+//     breaks as soon as anyone wraps the sentinel. Use errors.Is.
+//     Comparisons against nil are the normal success check and exempt.
+//
+//  3. Type-asserting an error value to a concrete error type (including
+//     via type switch) breaks the same way. Use errors.As.
+func ErrFlow() *Analyzer {
+	a := &Analyzer{
+		Name: "errflow",
+		Doc:  "require %w wrapping and errors.Is/As: no stringified causes, no == sentinel checks, no error type assertions",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkErrorfWrap(pass, n)
+				case *ast.BinaryExpr:
+					checkSentinelCompare(pass, n)
+				case *ast.TypeAssertExpr:
+					if n.Type != nil { // x.(type) headers are handled below
+						checkErrorAssert(pass, n)
+					}
+				case *ast.TypeSwitchStmt:
+					checkErrorTypeSwitch(pass, n)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// checkErrorfWrap flags error operands of fmt.Errorf formatted with a
+// stringifying verb instead of %w.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.Pkg.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // non-constant format: nothing to align verbs against
+	}
+	verbs, ok := formatVerbs(constant.StringVal(tv.Value))
+	if !ok {
+		return // explicit argument indexes: bail out conservatively
+	}
+	for i, verb := range verbs {
+		argIdx := 1 + i
+		if argIdx >= len(call.Args) {
+			break
+		}
+		if verb != 'v' && verb != 's' && verb != 'q' {
+			continue
+		}
+		arg := call.Args[argIdx]
+		if tv, ok := pass.Pkg.Info.Types[arg]; ok && tv.Type != nil && implementsError(tv.Type) {
+			pass.Reportf(arg.Pos(), "fmt.Errorf formats an error with %%%c: use %%w so callers can still reach the cause with errors.Is/As", verb)
+		}
+	}
+}
+
+// formatVerbs returns one verb rune per operand the format string
+// consumes ('*' for width/precision operands). ok is false when the
+// format uses explicit argument indexes, which this parser does not
+// model.
+func formatVerbs(format string) (verbs []rune, ok bool) {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// flags
+		for i < len(format) {
+			switch format[i] {
+			case '+', '-', '#', ' ', '0':
+				i++
+				continue
+			}
+			break
+		}
+		// width
+		if i < len(format) && format[i] == '*' {
+			verbs = append(verbs, '*')
+			i++
+		} else {
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				i++
+			}
+		}
+		// precision
+		if i < len(format) && format[i] == '.' {
+			i++
+			if i < len(format) && format[i] == '*' {
+				verbs = append(verbs, '*')
+				i++
+			} else {
+				for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+					i++
+				}
+			}
+		}
+		if i >= len(format) {
+			break
+		}
+		switch format[i] {
+		case '%':
+			// literal percent: consumes nothing
+		case '[':
+			return nil, false
+		default:
+			verbs = append(verbs, rune(format[i]))
+		}
+	}
+	return verbs, true
+}
+
+// checkSentinelCompare flags ==/!= against package-level error
+// variables (sentinels). nil comparisons are the success check and
+// stay exempt.
+func checkSentinelCompare(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		if tv, ok := pass.Pkg.Info.Types[side]; ok && tv.IsNil() {
+			return
+		}
+	}
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		if v := sentinelErrorVar(pass, side); v != nil {
+			pass.Reportf(be.Pos(), "error compared against sentinel %s with %s: use errors.Is so wrapped errors still match", v.Name(), be.Op)
+			return
+		}
+	}
+}
+
+// sentinelErrorVar resolves e to a package-level variable whose type
+// implements error, or nil.
+func sentinelErrorVar(pass *Pass, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := pass.Pkg.Info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !implementsError(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+// checkErrorAssert flags err.(*SomeError) where err is an error-typed
+// interface and the asserted type is itself an error implementation.
+func checkErrorAssert(pass *Pass, ta *ast.TypeAssertExpr) {
+	if !isErrorInterfaceExpr(pass, ta.X) {
+		return
+	}
+	tv, ok := pass.Pkg.Info.Types[ta.Type]
+	if !ok || tv.Type == nil || !implementsError(tv.Type) {
+		return
+	}
+	pass.Reportf(ta.Pos(), "type assertion on an error value: use errors.As so wrapped errors still match")
+}
+
+// checkErrorTypeSwitch flags `switch err.(type)` over an error-typed
+// value when any case names a concrete error implementation.
+func checkErrorTypeSwitch(pass *Pass, ts *ast.TypeSwitchStmt) {
+	var subject ast.Expr
+	switch s := ts.Assign.(type) {
+	case *ast.ExprStmt:
+		if ta, ok := s.X.(*ast.TypeAssertExpr); ok {
+			subject = ta.X
+		}
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if ta, ok := s.Rhs[0].(*ast.TypeAssertExpr); ok {
+				subject = ta.X
+			}
+		}
+	}
+	if subject == nil || !isErrorInterfaceExpr(pass, subject) {
+		return
+	}
+	for _, clause := range ts.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, te := range cc.List {
+			tv, ok := pass.Pkg.Info.Types[te]
+			if !ok || tv.Type == nil {
+				continue
+			}
+			if _, isIface := tv.Type.Underlying().(*types.Interface); isIface {
+				continue // interface cases (incl. nil/error) are not As-shaped
+			}
+			if implementsError(tv.Type) {
+				pass.Reportf(ts.Pos(), "type switch on an error value with concrete error case %s: use errors.As so wrapped errors still match", types.TypeString(tv.Type, types.RelativeTo(pass.Pkg.Types)))
+				return
+			}
+		}
+	}
+}
+
+// isErrorInterfaceExpr reports whether e's static type is an interface
+// that implements error (the error interface itself or a superset).
+func isErrorInterfaceExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if _, isIface := tv.Type.Underlying().(*types.Interface); !isIface {
+		return false
+	}
+	return implementsError(tv.Type)
+}
+
+// errorIface is the universe error interface.
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// implementsError reports whether t satisfies the error interface.
+func implementsError(t types.Type) bool {
+	return types.Implements(t, errorIface)
+}

@@ -26,7 +26,9 @@ import (
 )
 
 // Analyzer is one named static check. Run inspects a loaded package and
-// reports findings through the Pass.
+// reports findings through the Pass; RunModule, when set instead, sees
+// every loaded package at once (for cross-package surfaces like the wire
+// schema). An analyzer sets exactly one of the two.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and in //lint:allow
 	// directives. Lowercase, no spaces.
@@ -36,6 +38,8 @@ type Analyzer struct {
 	// Run inspects pkg and reports findings via pass.Reportf. It is
 	// called once per loaded package.
 	Run func(pass *Pass)
+	// RunModule is called once per lint run with every loaded package.
+	RunModule func(pass *ModulePass)
 }
 
 // Pass carries one analyzer's view of one package.
@@ -51,6 +55,33 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Analyzer: p.Analyzer.Name,
 		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ModulePass carries a module-level analyzer's view of the whole load:
+// every target package, type-checked against one shared FileSet.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+
+	diags *[]Diagnostic
+}
+
+// Fset returns the FileSet shared by every loaded package (empty loads
+// fall back to a fresh set so position rendering never panics).
+func (p *ModulePass) Fset() *token.FileSet {
+	if len(p.Pkgs) > 0 {
+		return p.Pkgs[0].Fset
+	}
+	return token.NewFileSet()
+}
+
+// Reportf records a module-level finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset().Position(pos),
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
@@ -76,18 +107,27 @@ func (d Diagnostic) String() string {
 // AllowDirective is the comment prefix that suppresses a finding.
 const AllowDirective = "//lint:allow "
 
-// allow is one parsed //lint:allow directive.
+// allow is one parsed //lint:allow directive. A single comment may name
+// several analyzers (`//lint:allow ctxflow,errflow reason`); it parses
+// into one allow per analyzer, each tracked for staleness on its own.
 type allow struct {
 	analyzer string
 	file     string
 	line     int
-	used     bool
+	col      int
+	// endLine extends coverage below the directive: when the next line
+	// starts a multi-line simple statement, findings anywhere inside it
+	// are covered (a call argument two lines into a wrapped call can
+	// still be suppressed from above the statement).
+	endLine int
+	used    bool
 }
 
 // collectAllows parses every //lint:allow directive in the package.
 func collectAllows(pkg *Package) []*allow {
 	var out []*allow
 	for _, f := range pkg.Files {
+		extents := simpleStmtExtents(pkg, f)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				rest, ok := strings.CutPrefix(c.Text, AllowDirective)
@@ -99,18 +139,51 @@ func collectAllows(pkg *Package) []*allow {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				out = append(out, &allow{analyzer: fields[0], file: pos.Filename, line: pos.Line})
+				endLine := pos.Line + 1
+				if end, ok := extents[pos.Line+1]; ok && end > endLine {
+					endLine = end
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					out = append(out, &allow{analyzer: name, file: pos.Filename, line: pos.Line, col: pos.Column, endLine: endLine})
+				}
 			}
 		}
 	}
 	return out
 }
 
+// simpleStmtExtents maps the start line of every simple (non-nesting)
+// statement in the file to its last line. Simple statements cannot hide
+// other statements, so extending a directive's coverage over one never
+// silently blankets a block body.
+func simpleStmtExtents(pkg *Package, f *ast.File) map[int]int {
+	extents := make(map[int]int)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.AssignStmt, *ast.ExprStmt, *ast.ReturnStmt, *ast.GoStmt,
+			*ast.DeferStmt, *ast.DeclStmt, *ast.SendStmt, *ast.IncDecStmt:
+			start := pkg.Fset.Position(n.Pos()).Line
+			end := pkg.Fset.Position(n.End()).Line
+			if end > extents[start] {
+				extents[start] = end
+			}
+		}
+		return true
+	})
+	return extents
+}
+
 // suppress drops diagnostics covered by an allow directive on the same
-// line or the line directly above, marks those directives used, and
-// appends one "unused directive" diagnostic for every directive (naming
-// an analyzer that actually ran) which suppressed nothing — deleting a
-// finding without deleting its escape hatch is itself a finding.
+// line, the line directly above, or — for a directive sitting above a
+// multi-line simple statement — anywhere inside that statement. Used
+// directives are marked; every directive (naming an analyzer that
+// actually ran) which suppressed nothing becomes an "unused directive"
+// diagnostic at the directive's own position — deleting a finding
+// without deleting its escape hatch is itself a finding.
 func suppress(diags []Diagnostic, allows []*allow, ran map[string]bool, reportUnused bool) []Diagnostic {
 	kept := diags[:0]
 	for _, d := range diags {
@@ -119,7 +192,7 @@ func suppress(diags []Diagnostic, allows []*allow, ran map[string]bool, reportUn
 			if a.analyzer != d.Analyzer || a.file != d.Pos.Filename {
 				continue
 			}
-			if a.line == d.Pos.Line || a.line == d.Pos.Line-1 {
+			if a.line == d.Pos.Line || (d.Pos.Line > a.line && d.Pos.Line <= a.endLine) {
 				a.used = true
 				covered = true
 			}
@@ -133,7 +206,7 @@ func suppress(diags []Diagnostic, allows []*allow, ran map[string]bool, reportUn
 			if !a.used && ran[a.analyzer] {
 				kept = append(kept, Diagnostic{
 					Analyzer: "lint",
-					Pos:      token.Position{Filename: a.file, Line: a.line, Column: 1},
+					Pos:      token.Position{Filename: a.file, Line: a.line, Column: a.col},
 					Message:  fmt.Sprintf("unused //lint:allow %s directive (nothing on this or the next line triggers it)", a.analyzer),
 				})
 			}

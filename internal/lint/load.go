@@ -3,6 +3,7 @@ package lint
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -15,6 +16,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, parsed and type-checked package.
@@ -26,6 +28,11 @@ type Package struct {
 	Files      []*ast.File
 	Types      *types.Package
 	Info       *types.Info
+
+	// flows caches per-function dataflow solutions (see dataflow.go), so
+	// every analyzer in a run shares one CFG and one reaching-definitions
+	// pass per function.
+	flows map[ast.Node]*flow
 }
 
 // listedPackage is the subset of `go list -json` output the loader needs.
@@ -40,12 +47,51 @@ type listedPackage struct {
 	ImportMap  map[string]string
 }
 
+// loadCache memoises Load results per (dir, patterns) for the lifetime
+// of the process. One lint run already shares a single load across every
+// analyzer; the cache extends that sharing to repeated Run calls over the
+// same tree — the wire-lock regenerate-then-check flow, the CLI driving
+// several fixture runs, and BenchmarkLint all type-check each package
+// exactly once. Sources are assumed stable while the process lives (true
+// for the CLI and the test suite); ResetLoadCache drops the memo when a
+// caller rewrites sources mid-process.
+var loadCache = struct {
+	sync.Mutex
+	m map[string][]*Package
+}{m: map[string][]*Package{}}
+
+// ResetLoadCache forgets every memoised Load result.
+func ResetLoadCache() {
+	loadCache.Lock()
+	defer loadCache.Unlock()
+	loadCache.m = map[string][]*Package{}
+}
+
 // Load resolves patterns (e.g. "./...") relative to dir, parses every
 // matched package's non-test sources, and type-checks them against export
 // data produced by the go toolchain — no dependencies beyond the stdlib
 // and the `go` command itself. Test files are deliberately excluded: the
-// contracts becauselint enforces are about shipped code.
+// contracts becauselint enforces are about shipped code. Results are
+// memoised per (dir, patterns); see ResetLoadCache.
 func Load(dir string, patterns ...string) ([]*Package, error) {
+	key := dir + "\x00" + strings.Join(patterns, "\x00")
+	loadCache.Lock()
+	cached, ok := loadCache.m[key]
+	loadCache.Unlock()
+	if ok {
+		return cached, nil
+	}
+	pkgs, err := load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	loadCache.Lock()
+	loadCache.m[key] = pkgs
+	loadCache.Unlock()
+	return pkgs, nil
+}
+
+func load(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -113,7 +159,7 @@ func goList(dir string, patterns []string) ([]listedPackage, error) {
 	dec := json.NewDecoder(&stdout)
 	for {
 		var p listedPackage
-		if err := dec.Decode(&p); err == io.EOF {
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
 			break
 		} else if err != nil {
 			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
@@ -147,7 +193,7 @@ func typeCheck(fset *token.FileSet, imp types.Importer, t *listedPackage) (*Pack
 	}
 	tpkg, err := conf.Check(t.ImportPath, fset, files, info)
 	if len(typeErrs) > 0 {
-		return nil, fmt.Errorf("lint: type-checking %s: %v", t.ImportPath, typeErrs[0])
+		return nil, fmt.Errorf("lint: type-checking %s: %w", t.ImportPath, typeErrs[0])
 	}
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", t.ImportPath, err)

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -23,20 +24,19 @@ func RNGShare() *Analyzer {
 			inspectWithStack(f, func(n ast.Node, stack []ast.Node) {
 				switch n := n.(type) {
 				case *ast.GoStmt:
-					enclosing := enclosingFuncBody(stack)
 					if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
-						checkCapturedRNGs(pass, lit, enclosing, "go statement")
+						checkCapturedRNGs(pass, lit, stack, n.Pos(), "go statement")
 						return
 					}
 					for _, arg := range n.Call.Args {
-						checkRNGExpr(pass, arg, enclosing, "go statement")
+						checkRNGExpr(pass, arg, stack, n.Pos(), "go statement")
 					}
 				case *ast.CallExpr:
 					if !isPoolGoCall(pass, n) || len(n.Args) == 0 {
 						return
 					}
 					if lit, ok := n.Args[0].(*ast.FuncLit); ok {
-						checkCapturedRNGs(pass, lit, enclosingFuncBody(stack), "par.Group task")
+						checkCapturedRNGs(pass, lit, stack, n.Pos(), "par.Group task")
 					}
 				}
 			})
@@ -70,8 +70,8 @@ func isPoolGoCall(pass *Pass, call *ast.CallExpr) bool {
 
 // checkCapturedRNGs reports every free *stats.RNG variable of lit — a
 // variable declared outside the literal but used inside it — that is not
-// Split-derived in the enclosing function.
-func checkCapturedRNGs(pass *Pass, lit *ast.FuncLit, enclosing *ast.BlockStmt, context string) {
+// Split-derived at the point the goroutine is launched.
+func checkCapturedRNGs(pass *Pass, lit *ast.FuncLit, stack []ast.Node, at token.Pos, context string) {
 	seen := make(map[*types.Var]bool)
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
 		id, ok := n.(*ast.Ident)
@@ -86,7 +86,7 @@ func checkCapturedRNGs(pass *Pass, lit *ast.FuncLit, enclosing *ast.BlockStmt, c
 			return true // declared inside the closure: not shared
 		}
 		seen[v] = true
-		if !splitDerived(pass, enclosing, v) {
+		if !splitDerivedAt(pass, stack, v, at) {
 			pass.Reportf(id.Pos(), "%s captures *stats.RNG %q, which is not obtained from Split in this function: sharing a generator across goroutines races and breaks deterministic replay (pre-split one stream per task)", context, v.Name())
 		}
 		return true
@@ -95,67 +95,83 @@ func checkCapturedRNGs(pass *Pass, lit *ast.FuncLit, enclosing *ast.BlockStmt, c
 
 // checkRNGExpr reports e when it is a non-Split-derived *stats.RNG handed
 // to a goroutine as a call argument.
-func checkRNGExpr(pass *Pass, e ast.Expr, enclosing *ast.BlockStmt, context string) {
+func checkRNGExpr(pass *Pass, e ast.Expr, stack []ast.Node, at token.Pos, context string) {
 	tv, ok := pass.Pkg.Info.Types[e]
 	if !ok || tv.Type == nil || !isStatsRNG(tv.Type) {
 		return
 	}
 	// rng.Split() passed directly is the blessed pattern.
-	if call, ok := e.(*ast.CallExpr); ok {
-		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Split" {
-			return
-		}
+	if isSplitCall(pass, e) {
+		return
 	}
 	if id, ok := e.(*ast.Ident); ok {
-		if v, ok := pass.Pkg.Info.Uses[id].(*types.Var); ok && splitDerived(pass, enclosing, v) {
+		if v, ok := pass.Pkg.Info.Uses[id].(*types.Var); ok && splitDerivedAt(pass, stack, v, at) {
 			return
 		}
 	}
 	pass.Reportf(e.Pos(), "%s receives a *stats.RNG that is not obtained from Split in this function: sharing a generator across goroutines races and breaks deterministic replay (pre-split one stream per task)", context)
 }
 
-// splitDerived reports whether some assignment or declaration inside the
-// enclosing function body sets v from a Split() method call on a
-// *stats.RNG.
-func splitDerived(pass *Pass, enclosing *ast.BlockStmt, v *types.Var) bool {
-	if enclosing == nil {
-		return false
+// splitDerivedAt reports whether v, observed at the launch position,
+// is Split-derived: every definition of v that can reach the launch is
+// a Split() call or an alias of a Split-derived variable. The check
+// runs on the reaching-definitions solution of the innermost enclosing
+// function that actually defines v, so a generator re-bound to a shared
+// one after its Split (`s := rng.Split(); s = rng`) is caught, while an
+// alias of a split stream (`alias := s`) is accepted.
+func splitDerivedAt(pass *Pass, stack []ast.Node, v *types.Var, at token.Pos) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+		default:
+			continue
+		}
+		f := pass.Pkg.flowFor(stack[i])
+		defs := f.defsAt(v, at)
+		if len(defs) == 0 {
+			continue // v is not defined in this function: look outward
+		}
+		return splitDefs(pass, f, defs, map[*definition]bool{})
 	}
-	derived := false
-	ast.Inspect(enclosing, func(n ast.Node) bool {
-		if derived {
+	return false
+}
+
+// splitDefs reports whether every definition in defs produces a
+// Split-derived value, following alias chains through the same flow.
+func splitDefs(pass *Pass, f *flow, defs []*definition, visited map[*definition]bool) bool {
+	for _, d := range defs {
+		if visited[d] {
+			continue // cycle on the derivation path: not a new source
+		}
+		visited[d] = true
+		if d.kind != defAssign {
+			return false // parameters, multi-value results, x op= y: opaque
+		}
+		rhs := d.rhs
+		for {
+			p, ok := rhs.(*ast.ParenExpr)
+			if !ok {
+				break
+			}
+			rhs = p.X
+		}
+		if isSplitCall(pass, rhs) {
+			continue
+		}
+		id, ok := rhs.(*ast.Ident)
+		if !ok {
 			return false
 		}
-		switch n := n.(type) {
-		case *ast.AssignStmt:
-			for i, lhs := range n.Lhs {
-				id, ok := lhs.(*ast.Ident)
-				if !ok {
-					continue
-				}
-				obj := pass.Pkg.Info.Defs[id]
-				if obj == nil {
-					obj = pass.Pkg.Info.Uses[id]
-				}
-				if obj != v {
-					continue
-				}
-				// With a 1:1 assignment count the RHS positions match;
-				// a multi-value RHS (call) cannot be a Split chain.
-				if len(n.Rhs) == len(n.Lhs) && isSplitCall(pass, n.Rhs[i]) {
-					derived = true
-				}
-			}
-		case *ast.ValueSpec:
-			for i, name := range n.Names {
-				if pass.Pkg.Info.Defs[name] == v && i < len(n.Values) && isSplitCall(pass, n.Values[i]) {
-					derived = true
-				}
-			}
+		av, ok := pass.Pkg.Info.Uses[id].(*types.Var)
+		if !ok {
+			return false
 		}
-		return !derived
-	})
-	return derived
+		adefs := f.defsAt(av, d.node.Pos())
+		if len(adefs) == 0 || !splitDefs(pass, f, adefs, visited) {
+			return false
+		}
+	}
+	return true
 }
 
 // isSplitCall reports whether e is a Split() method call on a *stats.RNG.

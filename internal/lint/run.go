@@ -23,6 +23,9 @@ func All() []*Analyzer {
 		MapOrder(),
 		RNGShare(),
 		ObsNil(),
+		CtxFlow(),
+		ErrFlow(),
+		WireDrift(),
 	}
 }
 
@@ -45,15 +48,25 @@ func Run(dir string, patterns []string, opts Options) ([]Diagnostic, error) {
 		ran[a.Name] = true
 	}
 	var all []Diagnostic
+	var allows []*allow
 	for _, pkg := range pkgs {
-		var diags []Diagnostic
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+			if a.Run == nil {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &all}
 			a.Run(pass)
 		}
-		diags = suppress(diags, collectAllows(pkg), ran, !opts.KeepUnusedAllows)
-		all = append(all, diags...)
+		allows = append(allows, collectAllows(pkg)...)
 	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		pass := &ModulePass{Analyzer: a, Pkgs: pkgs, diags: &all}
+		a.RunModule(pass)
+	}
+	all = suppress(all, allows, ran, !opts.KeepUnusedAllows)
 	sortDiagnostics(all)
 	all = dedupDiagnostics(all)
 	for i := range all {

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"sort"
+)
+
+// SARIF rendering for CI: `becauselint -sarif` emits a minimal static
+// analysis results interchange format 2.1.0 log that GitHub code
+// scanning ingests, turning findings into inline pull-request
+// annotations. Only the fields that ingestion actually reads are
+// emitted; everything is deterministic (rules sorted by id, results in
+// diagnostic order) so repeated runs produce byte-identical logs.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// ToSARIF renders diagnostics as a SARIF 2.1.0 log. analyzers supplies
+// the rule metadata; the framework's own "lint" rule (stale directives)
+// is always present.
+func ToSARIF(diags []Diagnostic, analyzers []*Analyzer) ([]byte, error) {
+	rules := []sarifRule{{
+		ID:               "lint",
+		ShortDescription: sarifText{Text: "unused //lint:allow directive"},
+	}}
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: a.Doc}})
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		line := d.Line
+		if line < 1 {
+			line = 1 // SARIF regions are 1-based; clamp file-level findings
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifText{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{
+						URI:       filepath.ToSlash(d.File),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{StartLine: line, StartColumn: d.Col},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "becauselint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}

@@ -1,0 +1,28 @@
+// Package allowmulti exercises comma-separated //lint:allow directives:
+// one comment naming several analyzers, with per-analyzer staleness.
+package allowmulti
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrBoom = errors.New("boom")
+
+// Combined trips maporder and errflow on the same line; one directive
+// names both.
+func Combined(m map[string]error, err error) string {
+	s := ""
+	for k := range m {
+		//lint:allow maporder,errflow fixture: one directive suppressing two analyzers
+		s += fmt.Errorf("%s: %v", k, err).Error()
+	}
+	return s
+}
+
+// HalfStale only trips errflow: the maporder half of the directive is
+// stale and must be reported as unused at the directive's own column.
+func HalfStale(err error) error {
+	//lint:allow errflow,maporder fixture: the maporder half is stale
+	return fmt.Errorf("wrap: %v", err)
+}

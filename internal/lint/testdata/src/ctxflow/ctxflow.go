@@ -1,0 +1,118 @@
+// Package ctxflow seeds context-threading violations (and the exempt
+// idioms) for the ctxflow analyzer's golden test.
+package ctxflow
+
+import "context"
+
+func ctxAware(ctx context.Context) error { return ctx.Err() }
+
+func ctxAwareContext(ctx context.Context, n int) error {
+	_ = n
+	return ctx.Err()
+}
+
+type holder struct{ ctx context.Context }
+
+// MintsRoot stores a fresh root context in a local: flagged (rule 1).
+func MintsRoot() error {
+	ctx := context.Background()
+	return ctxAware(ctx)
+}
+
+// MintsTODO passes a root context in a multi-statement body: flagged
+// (rule 1; the compat-shim exemption needs a single-return body).
+func MintsTODO() error {
+	err := ctxAware(context.TODO())
+	return err
+}
+
+// DropsForField ignores the caller's ctx in favour of a stored one:
+// flagged (rule 2).
+func DropsForField(ctx context.Context, h holder) error {
+	_ = ctx
+	return ctxAware(h.ctx)
+}
+
+// Rebound starts with a derived alias but rebinds it to a stored
+// context before the call: flagged (rule 2 needs reaching definitions
+// to see this — a flow-insensitive check would pass it).
+func Rebound(ctx context.Context, h holder) error {
+	ctx2 := ctx
+	ctx2 = h.ctx
+	return ctxAware(ctx2)
+}
+
+// ShimWithCtx already receives a context yet delegates with a fresh
+// root: flagged (rule 1 — the shim exemption never applies to
+// context-receiving signatures). Rule 2 stays quiet here: library
+// packages report the root at its minting site only.
+func ShimWithCtx(ctx context.Context) error {
+	return ctxAwareContext(context.Background(), 0)
+}
+
+// Derived threads a context.With* derivative: silent.
+func Derived(ctx context.Context) error {
+	c2, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return ctxAware(c2)
+}
+
+// AliasDerived passes an alias of the parameter: silent.
+func AliasDerived(ctx context.Context) error {
+	c := ctx
+	return ctxAware(c)
+}
+
+// Shim is the documented compat pattern — a context-free signature
+// whose whole body is one return delegating to the Context variant:
+// silent.
+func Shim(n int) error {
+	return ctxAwareContext(context.Background(), n)
+}
+
+// DefaultNil is the defensive-defaulting idiom: silent, including the
+// downstream call that sees the re-defined parameter.
+func DefaultNil(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctxAware(ctx)
+}
+
+// ClosureUsesOuter closes over the outer ctx: silent.
+func ClosureUsesOuter(ctx context.Context) error {
+	f := func() error { return ctxAware(ctx) }
+	return f()
+}
+
+// ClosureOwnsCtx returns a closure with its own context parameter,
+// analyzed as a function of its own: silent.
+func ClosureOwnsCtx(ctx context.Context) func(context.Context) error {
+	_ = ctx
+	return func(inner context.Context) error { return ctxAware(inner) }
+}
+
+// Unreachable drops a stored context only on a dead path: silent (the
+// CFG proves the second return can never run).
+func Unreachable(ctx context.Context, h holder) error {
+	return ctxAware(ctx)
+	return ctxAware(h.ctx)
+}
+
+// Allowed carries the escape hatch on the line above: suppressed.
+func Allowed() error {
+	//lint:allow ctxflow fixture: suppression on the flagged line's predecessor
+	ctx := context.Background()
+	return ctxAware(ctx)
+}
+
+// AllowedMultiline suppresses a finding two lines into a wrapped call:
+// the directive above a multi-line simple statement covers the whole
+// statement.
+func AllowedMultiline() error {
+	//lint:allow ctxflow fixture: directive above a multi-line statement
+	err := ctxAware(
+		context.TODO(),
+	)
+	return err
+}

@@ -1,0 +1,98 @@
+// Package dataflow seeds control-flow shapes for the CFG and
+// reaching-definitions engine's unit tests. Each function funnels its
+// definitions of x into a single return; the tests assert exactly which
+// definitions reach it.
+package dataflow
+
+// Loop: both the initial def and the loop-body def reach the return.
+func Loop(n int) int {
+	x := 0
+	for i := 0; i < n; i++ {
+		x = i
+	}
+	return x
+}
+
+// Branch: the then-branch def and the fall-through def both reach.
+func Branch(c bool) int {
+	x := 1
+	if c {
+		x = 2
+	}
+	return x
+}
+
+// Rebind: the second def kills the first; only one reaches.
+func Rebind() int {
+	x := 1
+	x = 2
+	return x
+}
+
+// Switchy: the fallthrough def is killed by the next case body; the
+// case-2 and default defs reach.
+func Switchy(n int) int {
+	x := 0
+	switch n {
+	case 1:
+		x = 1
+		fallthrough
+	case 2:
+		x = 2
+	default:
+		x = 3
+	}
+	return x
+}
+
+// Labeled: a labeled break out of the inner loop can bypass the outer
+// body's trailing def, so all three defs reach.
+func Labeled(n int) int {
+	x := 0
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j == 1 {
+				x = 1
+				break outer
+			}
+		}
+		x = 2
+	}
+	return x
+}
+
+// Gotoy: the goto can skip the middle def, so both reach.
+func Gotoy(n int) int {
+	x := 0
+	if n > 0 {
+		goto done
+	}
+	x = 1
+done:
+	return x
+}
+
+// Dead: everything after the first return is unreachable; the dead def
+// must not poison the function and the dead block must report as such.
+func Dead() int {
+	x := 1
+	return x
+	x = 2
+	return x
+}
+
+// InfiniteFor: a for{} without break never falls through; the trailing
+// return is unreachable.
+func InfiniteFor(ch chan int) int {
+	x := 0
+	for {
+		v := <-ch
+		if v > 0 {
+			return v
+		}
+		x = v
+	}
+	_ = x
+	return x
+}

@@ -1,0 +1,92 @@
+// Package errflow seeds error-contract violations (and the compliant
+// forms) for the errflow analyzer's golden test.
+package errflow
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrSentinel = errors.New("sentinel")
+
+type CodedError struct{ Code int }
+
+func (e *CodedError) Error() string { return "coded" }
+
+// WrapWithV stringifies the cause with %v: flagged.
+func WrapWithV(err error) error {
+	return fmt.Errorf("doing thing: %v", err)
+}
+
+// WrapWithS stringifies the cause with %s: flagged.
+func WrapWithS(err error) error {
+	return fmt.Errorf("doing thing: %s", err)
+}
+
+// MixedWrap wraps one operand and stringifies the other: the second is
+// flagged (Go 1.20+ allows several %w verbs in one format).
+func MixedWrap(err error) error {
+	return fmt.Errorf("%w: %v", ErrSentinel, err)
+}
+
+// CompareEq matches a sentinel with ==: flagged.
+func CompareEq(err error) bool { return err == ErrSentinel }
+
+// CompareNeq matches a sentinel with !=: flagged.
+func CompareNeq(err error) bool { return ErrSentinel != err }
+
+// AssertType unwraps with a type assertion: flagged.
+func AssertType(err error) (int, bool) {
+	if ce, ok := err.(*CodedError); ok {
+		return ce.Code, true
+	}
+	return 0, false
+}
+
+// SwitchType unwraps with a type switch: flagged.
+func SwitchType(err error) int {
+	switch e := err.(type) {
+	case *CodedError:
+		return e.Code
+	default:
+		return 0
+	}
+}
+
+// Wrapped uses %w: silent.
+func Wrapped(err error) error { return fmt.Errorf("doing thing: %w", err) }
+
+// IsSentinel uses errors.Is: silent.
+func IsSentinel(err error) bool { return errors.Is(err, ErrSentinel) }
+
+// AsCoded uses errors.As: silent.
+func AsCoded(err error) (int, bool) {
+	var ce *CodedError
+	if errors.As(err, &ce) {
+		return ce.Code, true
+	}
+	return 0, false
+}
+
+// NilChecks compare against nil, the normal success check: silent.
+func NilChecks(err error) bool { return err == nil || nil != err }
+
+// MessageOnly formats non-error operands: silent.
+func MessageOnly(n int, s string) error { return fmt.Errorf("bad %s: %d", s, n) }
+
+// WidthOperand consumes a width argument with *: the operand mapping
+// must stay aligned, so the error under %v is still flagged.
+func WidthOperand(err error) error {
+	return fmt.Errorf("pad %*d: %v", 8, 42, err)
+}
+
+// IndexedFormat uses explicit argument indexes, which the verb parser
+// does not model: silent (conservative bail-out).
+func IndexedFormat(err error) error {
+	return fmt.Errorf("%[1]v", err)
+}
+
+// FlattenAllowed deliberately flattens the cause: suppressed.
+func FlattenAllowed(err error) error {
+	return fmt.Errorf("flattened: %v", err) //lint:allow errflow fixture: boundary log line, cause must not leak
+}

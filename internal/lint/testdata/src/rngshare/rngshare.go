@@ -63,3 +63,32 @@ func DirectSplit(rng *stats.RNG) {
 func Allowed(rng *stats.RNG) {
 	go consume(rng) //lint:allow rngshare — fixture suppression case
 }
+
+// Rebound splits, then re-binds the stream variable back to the shared
+// generator before launching: flagged. Only the reaching-definitions
+// engine sees this — a flow-insensitive scan finds the Split assignment
+// and stops looking.
+func Rebound(rng *stats.RNG) {
+	stream := rng.Split()
+	stream = rng
+	go consume(stream)
+}
+
+// AliasPreSplit launches with an alias of a split stream: not flagged
+// (the alias chain resolves to a Split in this function; the old
+// direct-assignment scan used to reject this).
+func AliasPreSplit(rng *stats.RNG) {
+	stream := rng.Split()
+	alias := stream
+	go consume(alias)
+}
+
+// SplitAfterLaunch splits only after the goroutine is already running
+// with the shared generator: flagged (the later Split cannot reach the
+// launch point).
+func SplitAfterLaunch(rng *stats.RNG) {
+	shared := rng
+	go consume(shared)
+	shared = rng.Split()
+	_ = shared
+}

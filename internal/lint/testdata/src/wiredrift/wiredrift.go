@@ -1,0 +1,29 @@
+// Package wiredrift seeds wire-surface drift for the wiredrift
+// analyzer's golden test. The committed wire.lock in this directory was
+// recorded before the edits below: Envelope's payload tag was renamed
+// (non-additive), Grown gained a field and Fresh appeared (additive),
+// and Gone was deleted (non-additive) — all without a SchemaVersion
+// bump, so every kind of drift diagnostic fires at once.
+package wiredrift
+
+const SchemaVersion = 1
+
+type Envelope struct {
+	SchemaVersion int    `json:"schema_version"`
+	Payload       string `json:"payload_v2,omitempty"`
+}
+
+type Grown struct {
+	A int `json:"a"`
+	B int `json:"b"`
+}
+
+type Fresh struct {
+	X int `json:"x"`
+}
+
+type notWire struct{ n int }
+
+func (e Envelope) Sum(g Grown, f Fresh) int {
+	return e.SchemaVersion + g.A + g.B + f.X + notWire{}.n
+}

@@ -133,7 +133,7 @@ func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
 func (r *Reader) Next() (*Record, error) {
 	var hdr [12]byte
 	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return nil, io.EOF
 		}
 		return nil, ErrTruncated
@@ -224,7 +224,7 @@ func ReadAll(r io.Reader) ([]*Record, error) {
 	var out []*Record
 	for {
 		rec, err := mr.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return out, nil
 		}
 		if err != nil {

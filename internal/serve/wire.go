@@ -13,9 +13,9 @@ import (
 // (additive schema evolution); schema_version, when present, must match
 // the server's because.SchemaVersion.
 type InferRequest struct {
-	SchemaVersion int             `json:"schema_version,omitempty"`
-	Observations  []Observation   `json:"observations"`
-	Options       RequestOptions  `json:"options"`
+	SchemaVersion int            `json:"schema_version,omitempty"`
+	Observations  []Observation  `json:"observations"`
+	Options       RequestOptions `json:"options"`
 }
 
 // Observation is one labeled path measurement on the wire — the same
@@ -50,19 +50,19 @@ type RequestOptions struct {
 // the observer are server-side settings layered on top.
 func (r *InferRequest) toOptions(chainWorkers int, o *obs.Observer) ([]because.PathObservation, because.Options, error) {
 	opts := because.Options{
-		Seed:          r.Options.Seed,
-		MHSweeps:      r.Options.MHSweeps,
-		MHBurnIn:      r.Options.MHBurnIn,
-		DisableMH:     r.Options.DisableMH,
-		HMCIterations: r.Options.HMCIterations,
-		HMCBurnIn:     r.Options.HMCBurnIn,
-		DisableHMC:    r.Options.DisableHMC,
-		Chains:        r.Options.Chains,
-		HDPIMass:      r.Options.HDPIMass,
+		Seed:              r.Options.Seed,
+		MHSweeps:          r.Options.MHSweeps,
+		MHBurnIn:          r.Options.MHBurnIn,
+		DisableMH:         r.Options.DisableMH,
+		HMCIterations:     r.Options.HMCIterations,
+		HMCBurnIn:         r.Options.HMCBurnIn,
+		DisableHMC:        r.Options.DisableHMC,
+		Chains:            r.Options.Chains,
+		HDPIMass:          r.Options.HDPIMass,
 		PinpointThreshold: r.Options.PinpointThreshold,
-		MissRate:      r.Options.MissRate,
-		Workers:       chainWorkers,
-		Obs:           o,
+		MissRate:          r.Options.MissRate,
+		Workers:           chainWorkers,
+		Obs:               o,
 	}
 	if opts.Workers < 1 {
 		opts.Workers = 1

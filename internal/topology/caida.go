@@ -70,11 +70,11 @@ func ReadCAIDA(r io.Reader) (*Graph, error) {
 		}
 		a64, err := strconv.ParseUint(fields[0], 10, 32)
 		if err != nil {
-			return nil, fmt.Errorf("topology: caida line %d: %v", lineNo, err)
+			return nil, fmt.Errorf("topology: caida line %d: %w", lineNo, err)
 		}
 		b64, err := strconv.ParseUint(fields[1], 10, 32)
 		if err != nil {
-			return nil, fmt.Errorf("topology: caida line %d: %v", lineNo, err)
+			return nil, fmt.Errorf("topology: caida line %d: %w", lineNo, err)
 		}
 		rel, err := strconv.Atoi(fields[2])
 		if err != nil || (rel != caidaProvider && rel != 0) {

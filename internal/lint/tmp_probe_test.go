@@ -1,0 +1,14 @@
+package lint
+
+import "testing"
+
+func TestProbeRangeBody(t *testing.T) {
+	ResetLoadCache()
+	diags, err := Run("/tmp/ctxfix", []string{"./..."}, Options{Analyzers: []*Analyzer{CtxFlow()}, KeepUnusedAllows: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Logf("DIAG: %s", d)
+	}
+}

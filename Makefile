@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test tier1 vet lint becauselint wire-lock race verify bench fuzz serve-smoke clean
+.PHONY: all build test tier1 vet lint becauselint wire-lock race verify bench bench-all fuzz serve-smoke clean
 
 # Short fuzzing budget per target; raise for a real fuzzing session, e.g.
 #   make fuzz FUZZTIME=10m
@@ -51,7 +51,15 @@ race:
 # race detector and the plain test suite.
 verify: vet lint race tier1
 
+# bench records the per-PR benchmark trajectory: the headline benchmarks
+# (engine, public API, lint) run once and their numbers land as a
+# machine-readable JSON document (BENCH_PR6.json, committed per PR).
+# Tune with BENCHTIME=2s / BENCH_OUT=file. bench-all runs every root
+# benchmark the classic way, without recording.
 bench:
+	sh scripts/bench_trajectory.sh
+
+bench-all:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 # serve-smoke exercises the becaused daemon end to end: ephemeral port,

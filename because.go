@@ -409,6 +409,14 @@ func InferContext(ctx context.Context, observations []PathObservation, opts Opti
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	// When the caller put a trace on ctx (becaused's job API, becausectl's
+	// -trace-out), every pipeline stage below records into it; otherwise
+	// each span is nil and the calls are no-ops.
+	span, ctx := obs.StartTraceSpan(ctx, "infer")
+	defer span.End()
+	span.SetAttr("observations", len(observations))
+	span.SetAttr("chains", opts.Chains)
+	dsSpan, _ := obs.StartTraceSpan(ctx, "dataset")
 	coreObs := make([]core.PathObs, 0, len(observations))
 	for j, o := range observations {
 		if len(o.Path) == 0 {
@@ -425,8 +433,12 @@ func InferContext(ctx context.Context, observations []PathObservation, opts Opti
 	}
 	ds, err := core.NewDataset(coreObs)
 	if err != nil {
+		dsSpan.End()
 		return nil, err
 	}
+	dsSpan.SetAttr("paths", ds.NumPaths())
+	dsSpan.SetAttr("nodes", ds.NumNodes())
+	dsSpan.End()
 	cfg := core.Config{
 		Seed:              opts.Seed,
 		HDPIMass:          opts.HDPIMass,

@@ -13,6 +13,7 @@
 //	           [-flagged-only] [-mh-sweeps N] [-hmc-iters N]
 //	           [-chains N] [-workers N] [-miss-rate P]
 //	           [-metrics-addr :8080] [-log-level info] [-progress]
+//	           [-trace-out trace.json] [-remote http://127.0.0.1:8642]
 //
 // With no -in, the dataset is read from standard input.
 //
@@ -25,10 +26,29 @@
 // structured logs on stderr (debug, info, warn, error; default off);
 // -progress renders live sampler progress lines on stderr. -chains 2 or
 // more adds a per-AS Gelman-Rubin R-hat column to the table.
+//
+// -trace-out writes the run's request-scoped trace — the hierarchical
+// span tree with deterministic IDs, stage durations and per-chain sampler
+// attributes — as a JSON document. The span tree and IDs are identical
+// for identical inputs at any -workers value; only the timings vary.
+//
+// Remote mode: -remote points becausectl at a running becaused and the
+// inference executes there instead of in-process. The query is sent as
+// POST /v1/infer?stream=1; -progress then renders the daemon's live SSE
+// progress frames on stderr exactly like a local run, and -trace-out
+// fetches the server-side trace from GET /v1/jobs/{id} after the stream
+// ends. Against a local daemon:
+//
+//	becaused -addr 127.0.0.1:8642 &
+//	becausectl -remote http://127.0.0.1:8642 -progress -in paths.json
+//
+// Local-only sampler knobs (-workers, -metrics-addr) are ignored remotely;
+// the daemon's own settings apply.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -62,6 +82,8 @@ type options struct {
 	progress    bool
 	metricsAddr string
 	logLevel    string
+	traceOut    string
+	remote      string
 }
 
 func main() {
@@ -79,6 +101,8 @@ func main() {
 	flag.BoolVar(&o.progress, "progress", false, "render live sampler progress on stderr")
 	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve Prometheus /metrics and pprof on this address (e.g. :8080)")
 	flag.StringVar(&o.logLevel, "log-level", "", "structured log level on stderr: debug, info, warn, error (default: off)")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write the run's JSON trace (span tree, durations, sampler attributes) to this file")
+	flag.StringVar(&o.remote, "remote", "", "run the inference on a becaused at this base URL (e.g. http://127.0.0.1:8642) instead of in-process")
 	flag.Parse()
 
 	observer, err := newObserver(o.logLevel)
@@ -138,6 +162,9 @@ func run(o options, observer *obs.Observer, stdout io.Writer) error {
 	if len(records) == 0 {
 		return because.ErrNoObservations
 	}
+	if o.remote != "" {
+		return runRemote(o, records, stdout)
+	}
 
 	opts := because.Options{
 		Seed:     o.seed,
@@ -168,11 +195,43 @@ func run(o options, observer *obs.Observer, stdout io.Writer) error {
 	for i, rec := range records {
 		obsIn[i] = because.PathObservation{Path: rec.Path, ShowsProperty: rec.Positive, Weight: rec.Weight}
 	}
-	res, err := because.Infer(obsIn, opts)
+
+	if o.traceOut == "" {
+		res, err := because.Infer(obsIn, opts)
+		if err != nil {
+			return err
+		}
+		return render(o, res, len(obsIn), stdout)
+	}
+
+	// Traced run: root the request-scoped trace on a deterministic
+	// identity (the run's semantic inputs), so the span tree and IDs are
+	// reproducible for the same invocation at any -workers value.
+	tr := obs.NewTrace("becausectl", fmt.Sprintf("seed=%d|prior=%s|paths=%d", o.seed, o.prior, len(obsIn)))
+	ctx := obs.ContextWithSpan(context.Background(), tr.Root())
+	res, err := because.InferContext(ctx, obsIn, opts)
+	tr.Root().End()
 	if err != nil {
 		return err
 	}
+	if err := writeTrace(o.traceOut, tr.Export()); err != nil {
+		return err
+	}
+	return render(o, res, len(obsIn), stdout)
+}
 
+// writeTrace marshals a trace export (or any JSON document) to path.
+func writeTrace(path string, doc any) error {
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// render prints the result the way the flags ask for — the JSON reports
+// array or the diagnostic table. Shared by the local and remote paths.
+func render(o options, res *because.Result, observations int, stdout io.Writer) error {
 	reports := res.Reports
 	if o.flaggedOnly {
 		reports = res.Flagged()
@@ -187,7 +246,7 @@ func run(o options, observer *obs.Observer, stdout io.Writer) error {
 	}
 
 	fmt.Fprintf(stdout, "observations: %d paths, %d ASes; MH acceptance %.2f, HMC acceptance %.2f",
-		len(obsIn), len(res.Reports), res.MHAcceptance, res.HMCAcceptance)
+		observations, len(res.Reports), res.MHAcceptance, res.HMCAcceptance)
 	if res.HMCDivergences > 0 {
 		fmt.Fprintf(stdout, " (%d divergences)", res.HMCDivergences)
 	}

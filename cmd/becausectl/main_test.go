@@ -1,6 +1,10 @@
 package main
 
 import (
+	"encoding/json"
+	"net/http/httptest"
+
+	"because/internal/serve"
 	"bytes"
 	"io"
 	"net/http"
@@ -143,5 +147,102 @@ func TestMetricsEndpoint(t *testing.T) {
 		if !strings.Contains(page, want) {
 			t.Errorf("/metrics missing %q:\n%s", want, page)
 		}
+	}
+}
+
+// TestTraceOut: -trace-out writes a JSON trace document whose span tree is
+// deterministic for the same invocation, regardless of -workers.
+func TestTraceOut(t *testing.T) {
+	in := writeQuickstart(t)
+	runOnce := func(workers int) map[string]any {
+		t.Helper()
+		out := filepath.Join(t.TempDir(), "trace.json")
+		o := options{in: in, seed: 1, prior: "sparse", mhSweeps: 200, hmcIters: 80, chains: 2, workers: workers, traceOut: out}
+		if err := run(o, nil, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatalf("trace file is not JSON: %v", err)
+		}
+		return doc
+	}
+	t1 := runOnce(1)
+	t4 := runOnce(4)
+	if t1["trace_id"] == "" || t1["trace_id"] != t4["trace_id"] {
+		t.Errorf("trace IDs differ across -workers: %v vs %v", t1["trace_id"], t4["trace_id"])
+	}
+	root, ok := t1["root"].(map[string]any)
+	if !ok || root["name"] != "becausectl" {
+		t.Errorf("trace root = %v, want becausectl span", t1["root"])
+	}
+	if n, ok := t1["span_count"].(float64); !ok || n < 5 {
+		t.Errorf("span_count = %v, want the full stage tree", t1["span_count"])
+	}
+}
+
+// TestRunRemote drives the full remote mode against an in-process
+// becaused handler: SSE progress on stderr is consumed, the result renders
+// through the shared table path, and -trace-out captures the server-side
+// job trace.
+func TestRunRemote(t *testing.T) {
+	srv := serve.New(serve.Config{ChainWorkers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	in := writeQuickstart(t)
+	traceOut := filepath.Join(t.TempDir(), "trace.json")
+	var out bytes.Buffer
+	o := options{in: in, seed: 1, prior: "sparse", mhSweeps: 200, hmcIters: 80, chains: 2,
+		remote: ts.URL, traceOut: traceOut}
+	if err := run(o, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "observations: 6 paths") {
+		t.Errorf("remote run table:\n%s", out.String())
+	}
+	data, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Root struct {
+			Name string `json:"name"`
+		} `json:"root"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Root.Name != "job" {
+		t.Errorf("remote trace root = %q, want job", doc.Root.Name)
+	}
+
+	// Remote and local runs agree on the report set.
+	var local bytes.Buffer
+	lo := options{in: in, seed: 1, prior: "sparse", mhSweeps: 200, hmcIters: 80, chains: 2, jsonOut: true}
+	if err := run(lo, nil, &local); err != nil {
+		t.Fatal(err)
+	}
+	var remote bytes.Buffer
+	ro := o
+	ro.traceOut = ""
+	ro.jsonOut = true
+	if err := run(ro, nil, &remote); err != nil {
+		t.Fatal(err)
+	}
+	if local.String() != remote.String() {
+		t.Errorf("remote reports differ from local:\nlocal:\n%s\nremote:\n%s", local.String(), remote.String())
+	}
+
+	// A daemon rejection surfaces as an error, not a hang.
+	bad := o
+	bad.traceOut = ""
+	bad.prior = "nonsense"
+	if err := run(bad, nil, io.Discard); err == nil {
+		t.Error("remote run accepted an invalid prior")
 	}
 }

@@ -10,8 +10,20 @@
 //
 //	POST /v1/infer   {"observations":[{"path":[64500,64510],"positive":true}],
 //	                  "options":{"seed":1}}
+//	                 ?async=1 detaches: 202 + job ID, poll the job API.
+//	                 ?stream=1 streams progress + result over SSE inline;
+//	                 dropping the connection cancels the job (499).
+//	GET  /v1/jobs/{id}         job status: lifecycle state, event counts,
+//	                           the request-scoped trace, result when done
+//	GET  /v1/jobs/{id}/events  SSE progress stream (?cursor=N replays from
+//	                           sequence N; gapless, then follows live)
+//	DELETE /v1/jobs/{id}       cancel a running job
 //	GET  /healthz    readiness (503 while draining)
 //	GET  /metrics    Prometheus text exposition
+//
+// Every accepted inference — synchronous, streamed or detached — mints a
+// job whose status and deterministic trace stay queryable afterwards
+// (bounded retention; terminal jobs are evicted oldest-first).
 //
 // Backpressure: at most -jobs inferences sample concurrently and at most
 // -queue more wait; beyond that POSTs are rejected with 429 + Retry-After.

@@ -11,6 +11,7 @@
 package collector
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/netip"
@@ -129,6 +130,17 @@ func New(rng *stats.RNG) *Collector {
 // Attach subscribes every vantage point to its router's full feed. It
 // returns an error if a VP references an unknown AS.
 func (c *Collector) Attach(net *router.Network, vps []VantagePoint) error {
+	return c.AttachContext(context.Background(), net, vps)
+}
+
+// AttachContext is Attach under a context: when ctx carries a trace
+// (obs.ContextWithSpan), the subscription stage records a
+// "collector.attach" span with the vantage-point count. Attaching never
+// blocks, so the context is an observability position only.
+func (c *Collector) AttachContext(ctx context.Context, net *router.Network, vps []VantagePoint) error {
+	tspan, _ := obs.StartTraceSpan(ctx, "collector.attach")
+	tspan.SetAttr("vantage_points", len(vps))
+	defer tspan.End()
 	for _, vp := range vps {
 		vp := vp
 		// Resolved once per vantage point; nil when unobserved.

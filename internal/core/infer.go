@@ -227,26 +227,44 @@ func InferContext(ctx context.Context, ds *Dataset, cfg Config) (*Result, error)
 		hmcSpan = o.StartSpan("hmc")
 	}
 
+	// Trace spans are pre-created here, in job order, BEFORE the fan-out —
+	// exactly like the RNG streams above — so the exported span tree (IDs,
+	// names, nesting) depends only on the configuration, never on which
+	// worker finishes first. Workers only End their pre-assigned span;
+	// sampler attributes are attached after the join, in chain order. With
+	// no trace on ctx every span below is nil and each call is a no-op.
+	sampleSpan, _ := obs.StartTraceSpan(ctx, "sample")
+	chainSpans := make([]*obs.TraceSpan, len(jobs))
+	for i, job := range jobs {
+		if job.method == "mh" {
+			chainSpans[i] = sampleSpan.StartChild(fmt.Sprintf("mh[%02d]", job.chain))
+		} else {
+			chainSpans[i] = sampleSpan.StartChild("hmc")
+		}
+	}
+
 	pool := par.NewGroupContext(ctx, workers, o, "infer")
 	chains := make([]*Chain, len(jobs))
 	errs := make([]error, len(jobs))
 	for i, job := range jobs {
 		i, job := i, job
-		pool.Go(func() error {
+		pool.GoCtx(func(ctx context.Context) error {
 			// Observability-only timing: feeds the per-chain duration
 			// histogram, never the chain's samples.
 			start := time.Now() //lint:allow determinism
+			cctx := obs.ContextWithSpan(ctx, chainSpans[i])
 			var c *Chain
 			var err error
 			switch job.method {
 			case "mh":
 				mhCfg := cfg.MH
 				mhCfg.Chain = job.chain
-				c, err = RunMHContext(ctx, ds, cfg.Prior, mhCfg, job.rng)
+				c, err = RunMHContext(cctx, ds, cfg.Prior, mhCfg, job.rng)
 			default:
-				c, err = RunHMCContext(ctx, ds, cfg.Prior, cfg.HMC, job.rng)
+				c, err = RunHMCContext(cctx, ds, cfg.Prior, cfg.HMC, job.rng)
 			}
 			chains[i], errs[i] = c, err
+			chainSpans[i].End()
 			if o != nil {
 				o.Histogram(obs.MetricChainSeconds, nil, "method", job.method).
 					Observe(time.Since(start).Seconds()) //lint:allow determinism — observability-only
@@ -264,7 +282,9 @@ func InferContext(ctx context.Context, ds *Dataset, cfg Config) (*Result, error)
 			return err
 		})
 	}
-	if err := pool.Wait(); err != nil {
+	waitErr := pool.Wait()
+	sampleSpan.End()
+	if err := waitErr; err != nil {
 		// A cancelled context wins outright: the caller asked the run to
 		// stop, so surface ctx.Err() itself (errors.Is-able) rather than a
 		// per-chain wrapper — and deterministically, since ctx.Err() does
@@ -284,11 +304,31 @@ func InferContext(ctx context.Context, ds *Dataset, cfg Config) (*Result, error)
 		}
 		return nil, err
 	}
+	// Attach sampler statistics to the chain spans now that the fan-out has
+	// joined: attribute order is chain order, deterministic by construction.
+	for i, c := range chains {
+		ts := chainSpans[i]
+		if ts == nil || c == nil {
+			continue
+		}
+		ts.SetAttr("method", c.Method)
+		if jobs[i].method == "mh" {
+			ts.SetAttr("chain", jobs[i].chain)
+		}
+		ts.SetAttr("sweeps", c.Len())
+		ts.SetAttr("accepted", c.Accepted)
+		ts.SetAttr("proposed", c.Proposed)
+		ts.SetAttr("acceptance", c.AcceptanceRate())
+		if c.Method == "hmc" {
+			ts.SetAttr("divergent", c.Divergent)
+		}
+	}
 	var mhChains []*Chain
 	if !cfg.DisableMH {
 		mhChains = chains[:cfg.Chains]
 	}
 	span := o.StartSpan("summarize")
+	sumSpan, _ := obs.StartTraceSpan(ctx, "summarize")
 	summaries, err := Summarize(ds, chains, cfg.HDPIMass)
 	if err != nil {
 		return nil, err
@@ -328,10 +368,13 @@ func InferContext(ctx context.Context, ds *Dataset, cfg Config) (*Result, error)
 		}
 	}
 	span.End()
+	sumSpan.SetAttr("nodes", len(summaries))
+	sumSpan.End()
 	res := &Result{Summaries: summaries, Chains: chains}
 	res.buildIndex()
 	if cfg.PinpointThreshold > 0 {
 		span := o.StartSpan("pinpoint")
+		pinSpan, _ := obs.StartTraceSpan(ctx, "pinpoint")
 		upgraded := PinpointInconsistent(ds, chains, res.Summaries, cfg.PinpointThreshold)
 		for _, asn := range upgraded {
 			if i, ok := res.index[asn]; ok {
@@ -339,6 +382,8 @@ func InferContext(ctx context.Context, ds *Dataset, cfg Config) (*Result, error)
 			}
 		}
 		span.End()
+		pinSpan.SetAttr("upgraded", len(upgraded))
+		pinSpan.End()
 		if o != nil && len(upgraded) > 0 {
 			o.Log(obs.LevelInfo, "pinpointing upgraded ASes", "count", len(upgraded))
 		}

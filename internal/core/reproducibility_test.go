@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"math"
+	"reflect"
 	"runtime"
 	"sync"
 	"testing"
@@ -264,5 +267,53 @@ func TestInferConcurrentRunsSharedObserver(t *testing.T) {
 			t.Fatalf("run %d: %v", i, errs[i])
 		}
 		resultsEqual(t, fmt.Sprintf("concurrent-run-%d", i), baselines[i], results[i])
+	}
+}
+
+// TestInferTraceWorkerInvariance extends the harness to the trace layer:
+// the exported span tree — trace/span IDs, names, nesting, attributes —
+// must be identical at every worker count (only the timings may differ),
+// with the inference results themselves still bit-identical. This is the
+// payoff of pre-creating chain spans in job order before the fan-out.
+func TestInferTraceWorkerInvariance(t *testing.T) {
+	ds := plantedDataset(t)
+	run := func(workers int) (*Result, *obs.TraceExport) {
+		cfg := fastCfg(77)
+		cfg.Chains = 3
+		cfg.Workers = workers
+		tr := obs.NewTrace("job", "trace-invariance")
+		ctx := obs.ContextWithSpan(context.Background(), tr.Root())
+		res, err := InferContext(ctx, ds, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.Root().End()
+		return res, tr.Export()
+	}
+	wantRes, wantTrace := run(1)
+	gotRes, gotTrace := run(4)
+	resultsEqual(t, "traced/workers=4", wantRes, gotRes)
+	if !reflect.DeepEqual(wantTrace.Canonical(), gotTrace.Canonical()) {
+		a, _ := json.MarshalIndent(wantTrace.Canonical(), "", "  ")
+		b, _ := json.MarshalIndent(gotTrace.Canonical(), "", "  ")
+		t.Errorf("canonical traces differ between workers=1 and workers=4:\n%s\n---\n%s", a, b)
+	}
+	// The tree must contain every pipeline stage.
+	names := map[string]bool{}
+	var walk func(s *obs.SpanExport)
+	walk = func(s *obs.SpanExport) {
+		if s == nil {
+			return
+		}
+		names[s.Name] = true
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	walk(wantTrace.Root)
+	for _, want := range []string{"sample", "mh[00]", "mh[02]", "hmc", "summarize", "pinpoint"} {
+		if !names[want] {
+			t.Errorf("trace missing span %q (got %v)", want, names)
+		}
 	}
 }

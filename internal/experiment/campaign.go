@@ -66,6 +66,14 @@ func (s *Scenario) vpList() []collector.VantagePoint {
 // network (same seed-derived delays each time), beacons driven on
 // schedule, collection, and labeling.
 func (s *Scenario) RunCampaign(c beacon.Campaign) (*Run, error) {
+	return s.RunCampaignContext(context.Background(), c)
+}
+
+// RunCampaignContext is RunCampaign under a context: when ctx carries a
+// trace (obs.ContextWithSpan), the measurement pipeline records a
+// "campaign" span with attach/label children. The simulation itself is
+// not a cancellation point — the context is an observability position.
+func (s *Scenario) RunCampaignContext(ctx context.Context, c beacon.Campaign) (*Run, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -76,6 +84,9 @@ func (s *Scenario) RunCampaign(c beacon.Campaign) (*Run, error) {
 	}
 	rng := stats.NewRNG(seed)
 	span := s.Obs.StartSpan("campaign")
+	tspan, ctx := obs.StartTraceSpan(ctx, "campaign")
+	tspan.SetAttr("campaign", c.Name)
+	defer tspan.End()
 
 	eng := netsim.NewEngine(Start.Add(-time.Hour))
 	opts := router.Options{
@@ -84,7 +95,7 @@ func (s *Scenario) RunCampaign(c beacon.Campaign) (*Run, error) {
 	net := router.New(eng, s.Graph, opts, rng.Split())
 	col := collector.New(rng.Split())
 	col.SetObserver(s.Obs)
-	if err := col.Attach(net, s.vpList()); err != nil {
+	if err := col.AttachContext(ctx, net, s.vpList()); err != nil {
 		return nil, err
 	}
 	schedules, err := c.Schedules(s.Sites, Start)
@@ -110,7 +121,7 @@ func (s *Scenario) RunCampaign(c beacon.Campaign) (*Run, error) {
 		Campaign:     c,
 		Schedules:    schedules,
 		Entries:      col.Entries(),
-		Measurements: label.LabelPaths(col.Entries(), schedules, label.Config{Obs: s.Obs}),
+		Measurements: label.LabelPathsContext(ctx, col.Entries(), schedules, label.Config{Obs: s.Obs}),
 		Propagation:  label.PropagationDeltas(col.Entries(), schedules),
 	}
 	for _, asn := range s.Graph.ASNs() {

@@ -14,6 +14,7 @@
 package label
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -97,8 +98,17 @@ type pathAgg struct {
 // actually observed. Anchor schedules are skipped: they are the propagation
 // control, not an RFD probe.
 func LabelPaths(entries []collector.Entry, schedules []beacon.Schedule, cfg Config) []Measurement {
+	return LabelPathsContext(context.Background(), entries, schedules, cfg)
+}
+
+// LabelPathsContext is LabelPaths under a context: when ctx carries a
+// trace (obs.ContextWithSpan), the labeling stage records a "label" span
+// with entry/path counts into it. Labeling itself never blocks, so the
+// context is an observability position, not a cancellation point.
+func LabelPathsContext(ctx context.Context, entries []collector.Entry, schedules []beacon.Schedule, cfg Config) []Measurement {
 	cfg = cfg.withDefaults()
 	span := cfg.Obs.StartSpan("label")
+	tspan, _ := obs.StartTraceSpan(ctx, "label")
 
 	// Index entries by (prefix, vp).
 	type feedKey struct {
@@ -163,6 +173,9 @@ func LabelPaths(entries []collector.Entry, schedules []beacon.Schedule, cfg Conf
 		cfg.Obs.Log(obs.LevelInfo, "labeling done",
 			"entries", len(entries), "paths", len(out), "rfd_paths", rfdPaths, "pairs", pairs)
 	}
+	tspan.SetAttr("entries", len(entries))
+	tspan.SetAttr("paths", len(out))
+	tspan.End()
 	return out
 }
 

@@ -27,7 +27,13 @@ import (
 //     context.With* derivative of it) to every context-aware callee on
 //     every reachable path. The check is dataflow-based: the argument in
 //     the callee's context slot must, along all reaching definitions,
-//     derive from the receiving function's context parameter.
+//     derive from the receiving function's context parameter. Derivation
+//     follows context-passthrough helpers too — any call returning a
+//     context.Context (directly or in a result tuple) counts as derived
+//     when one of its context-typed arguments is derived, so carriers
+//     like obs.ContextWithSpan(ctx, span) and
+//     obs.StartTraceSpan(ctx, name) stay clean without laundering a
+//     dropped ctx (a helper fed a foreign context is still flagged).
 func CtxFlow() *Analyzer {
 	a := &Analyzer{
 		Name: "ctxflow",
@@ -196,6 +202,14 @@ func ctxDerived(pass *Pass, f *flow, e ast.Expr, pos token.Pos, visited map[*def
 		if name, ok := contextFuncName(pass, e); ok && strings.HasPrefix(name, "With") && len(e.Args) > 0 {
 			return ctxDerived(pass, f, e.Args[0], pos, visited)
 		}
+		// Context-passthrough helper: a call returning context.Context that
+		// was fed a derived context keeps the derivation alive (e.g.
+		// obs.ContextWithSpan(ctx, span) — the trace layer's carrier). A
+		// helper that swallowed its ctx and minted a root instead is flagged
+		// at its own Background()/TODO() call by rule 1.
+		if tv, ok := pass.Pkg.Info.Types[e]; ok && tv.Type != nil && isContextType(tv.Type) {
+			return anyCtxArgDerived(pass, f, e.Args, pos, visited)
+		}
 		return false
 	case *ast.Ident:
 		v, ok := pass.Pkg.Info.Uses[e].(*types.Var)
@@ -230,17 +244,29 @@ func ctxDerived(pass *Pass, f *flow, e ast.Expr, pos token.Pos, visited map[*def
 					return false
 				}
 			case defMulti:
-				// ctx2, cancel := context.WithTimeout(ctx, d): result 0 is
-				// the derived context.
+				// ctx2, cancel := context.WithTimeout(ctx, d) — or a
+				// passthrough helper returning a context among its results,
+				// like span, ctx2 := obs.StartTraceSpan(ctx, name). Either
+				// way the picked result must itself be a context and the
+				// call must have been fed a derived one.
 				rhs, ok := d.rhs.(*ast.CallExpr)
-				if !ok || d.idx != 0 {
+				if !ok {
 					return false
 				}
-				name, isCtx := contextFuncName(pass, rhs)
-				if !isCtx || !strings.HasPrefix(name, "With") || len(rhs.Args) == 0 {
+				tv, ok := pass.Pkg.Info.Types[rhs]
+				if !ok || tv.Type == nil {
 					return false
 				}
-				if !ctxDerived(pass, f, rhs.Args[0], d.node.Pos(), visited) {
+				tuple, ok := tv.Type.(*types.Tuple)
+				if !ok || d.idx >= tuple.Len() || !isContextType(tuple.At(d.idx).Type()) {
+					return false
+				}
+				if name, isCtx := contextFuncName(pass, rhs); isCtx {
+					if !strings.HasPrefix(name, "With") || len(rhs.Args) == 0 ||
+						!ctxDerived(pass, f, rhs.Args[0], d.node.Pos(), visited) {
+						return false
+					}
+				} else if !anyCtxArgDerived(pass, f, rhs.Args, d.node.Pos(), visited) {
 					return false
 				}
 			default:
@@ -248,6 +274,22 @@ func ctxDerived(pass *Pass, f *flow, e ast.Expr, pos token.Pos, visited map[*def
 			}
 		}
 		return true
+	}
+	return false
+}
+
+// anyCtxArgDerived reports whether any context-typed argument of a call
+// is derived from the enclosing function's context parameter — the shared
+// test behind both passthrough-helper forms.
+func anyCtxArgDerived(pass *Pass, f *flow, args []ast.Expr, pos token.Pos, visited map[*definition]bool) bool {
+	for _, arg := range args {
+		atv, ok := pass.Pkg.Info.Types[arg]
+		if !ok || atv.Type == nil || !isContextType(atv.Type) {
+			continue
+		}
+		if ctxDerived(pass, f, arg, pos, visited) {
+			return true
+		}
 	}
 	return false
 }

@@ -24,6 +24,11 @@ var DefaultDeterminismPaths = []string{
 	// therefore responses) time-sensitive. Its two latency-metric timings
 	// carry justified //lint:allow annotations.
 	"internal/serve",
+	// internal/obs mints the deterministic trace/span IDs the wire
+	// surface exposes; IDs and span ordering must never draw from clocks
+	// or randomness. Its span/log timestamp reads — observability-only by
+	// design — carry justified //lint:allow annotations.
+	"internal/obs",
 }
 
 // wallClockFuncs are the time-package functions whose results depend on

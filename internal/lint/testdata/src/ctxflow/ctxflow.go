@@ -116,3 +116,41 @@ func AllowedMultiline() error {
 	)
 	return err
 }
+
+// ctxPassthrough mimics an observability carrier helper: ctx in, ctx out
+// (the trace layer's ContextWithSpan shape).
+func ctxPassthrough(ctx context.Context, tag string) context.Context {
+	_ = tag
+	return ctx
+}
+
+// ctxPassthroughMulti returns the carried context among other results
+// (the StartTraceSpan shape).
+func ctxPassthroughMulti(ctx context.Context, tag string) (string, context.Context) {
+	return tag, ctx
+}
+
+// PassthroughDirect hands the callee a helper-wrapped ctx: silent.
+func PassthroughDirect(ctx context.Context) error {
+	return ctxAware(ctxPassthrough(ctx, "stage"))
+}
+
+// PassthroughRebound rebinds through a passthrough helper: silent.
+func PassthroughRebound(ctx context.Context) error {
+	ctx2 := ctxPassthrough(ctx, "stage")
+	return ctxAware(ctx2)
+}
+
+// PassthroughMulti picks the context out of a multi-result helper: silent.
+func PassthroughMulti(ctx context.Context) error {
+	tag, ctx2 := ctxPassthroughMulti(ctx, "stage")
+	_ = tag
+	return ctxAware(ctx2)
+}
+
+// PassthroughLaundering feeds the helper a stored context instead of this
+// function's: flagged — a passthrough cannot launder a dropped ctx.
+func PassthroughLaundering(ctx context.Context, h holder) error {
+	_ = ctx
+	return ctxAware(ctxPassthrough(h.ctx, "stage"))
+}

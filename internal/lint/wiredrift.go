@@ -33,10 +33,20 @@ import (
 // This turns "someone edited a json tag and nobody noticed" from a
 // production incident into a red lint run.
 func WireDrift() *Analyzer {
-	return wireDrift(wireDriftConfig{
-		pkgSuffixes: []string{"internal/serve"},
+	return wireDrift(productionWireConfig())
+}
+
+// productionWireConfig is the single registration point for BeCAUSe's
+// wire packages, shared by the analyzer (WireDrift) and the lock
+// regenerator (WriteWireLock) so the two can never disagree about what
+// the surface is: the module root (because.Result / because.ASReport),
+// internal/serve (request, response and job/event envelopes) and
+// internal/obs (the trace export embedded in job status documents).
+func productionWireConfig() wireDriftConfig {
+	return wireDriftConfig{
+		pkgSuffixes: []string{"internal/serve", "internal/obs"},
 		includeRoot: true,
-	})
+	}
 }
 
 // wireDriftConfig parameterises the analyzer for fixtures: which loaded
@@ -142,7 +152,7 @@ func WriteWireLock(root string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	cfg := wireDriftConfig{pkgSuffixes: []string{"internal/serve"}, includeRoot: true}
+	cfg := productionWireConfig()
 	wirePkgs := selectWirePackages(pkgs, cfg)
 	if len(wirePkgs) == 0 {
 		return "", fmt.Errorf("lint: no wire packages under %s", root)

@@ -109,11 +109,9 @@ func TestWireDriftCatchesServeTagEdit(t *testing.T) {
 	if err := os.WriteFile(lockPath, []byte(doctored), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	a := wireDrift(wireDriftConfig{
-		pkgSuffixes: []string{"internal/serve"},
-		includeRoot: true,
-		lockPath:    lockPath,
-	})
+	cfg := productionWireConfig()
+	cfg.lockPath = lockPath
+	a := wireDrift(cfg)
 	diags, err := Run(root, []string{"./..."}, Options{
 		Analyzers:        []*Analyzer{a},
 		KeepUnusedAllows: true,

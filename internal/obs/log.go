@@ -88,7 +88,7 @@ type TextLogger struct {
 
 // NewTextLogger returns a TextLogger writing records at or above min to w.
 func NewTextLogger(w io.Writer, min Level) *TextLogger {
-	return &TextLogger{w: w, min: min, now: time.Now}
+	return &TextLogger{w: w, min: min, now: time.Now} //lint:allow determinism — log timestamps only
 }
 
 // Enabled implements Logger. The nil *TextLogger emits nothing.

@@ -85,7 +85,7 @@ func (o *Observer) StartSpan(stage string) *Span {
 	if o == nil {
 		return nil
 	}
-	return &Span{obs: o, stage: stage, start: time.Now()}
+	return &Span{obs: o, stage: stage, start: time.Now()} //lint:allow determinism — observability-only stage timing
 }
 
 // End finishes the span and returns its duration.
@@ -93,7 +93,7 @@ func (s *Span) End() time.Duration {
 	if s == nil {
 		return 0
 	}
-	d := time.Since(s.start)
+	d := time.Since(s.start) //lint:allow determinism — observability-only stage timing
 	s.obs.Histogram(MetricStageSeconds, nil, "stage", s.stage).Observe(d.Seconds())
 	s.obs.Log(LevelDebug, "stage done", "stage", s.stage, "seconds", d.Seconds())
 	return d

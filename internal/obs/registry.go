@@ -59,6 +59,12 @@ const (
 	MetricServeCacheHits   = "because_serve_cache_hits_total"
 	MetricServeCacheMisses = "because_serve_cache_misses_total"
 	MetricServeJobSeconds  = "because_serve_job_duration_seconds"
+	// Job-API metrics: Jobs counts jobs reaching a terminal state, labeled
+	// state="done"|"failed"|"cancelled"; SSEEvents counts progress events
+	// actually written to event streams (inline ?stream=1 and
+	// /v1/jobs/{id}/events combined).
+	MetricServeJobs      = "because_serve_jobs_total"
+	MetricServeSSEEvents = "because_serve_sse_events_total"
 )
 
 // DurationBuckets are the default histogram buckets for stage spans, in

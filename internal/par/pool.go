@@ -104,6 +104,15 @@ func (g *Group) Go(f func() error) {
 	}()
 }
 
+// GoCtx is Go for tasks that want the group's context — the one
+// NewGroupContext was bound to — so a task can respect cancellation and
+// read request-scoped values (the current trace span, say) without the
+// submission loop capturing ctx in every closure. Tasks submitted with
+// plain Go and with GoCtx may be mixed freely.
+func (g *Group) GoCtx(f func(ctx context.Context) error) {
+	g.Go(func() error { return f(g.ctx) })
+}
+
 // record notes the first failure; later errors are dropped (callers that
 // need a deterministic pick collect per-task errors themselves).
 func (g *Group) record(err error) {

@@ -210,3 +210,33 @@ func TestGroupErrorFromConcurrentTasks(t *testing.T) {
 		t.Fatal("Wait returned nil despite failing tasks")
 	}
 }
+
+// TestGroupGoCtx: GoCtx hands tasks the group's own context and keeps
+// Go's skip-after-cancellation behavior.
+func TestGroupGoCtx(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	g := NewGroupContext(ctx, 2, nil, "goctx")
+	got := make(chan context.Context, 1)
+	g.GoCtx(func(tctx context.Context) error {
+		got <- tctx
+		return nil
+	})
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if tctx := <-got; tctx != ctx {
+		t.Error("GoCtx did not deliver the group's context")
+	}
+
+	cancel()
+	g2 := NewGroupContext(ctx, 2, nil, "goctx")
+	ran := false
+	g2.GoCtx(func(context.Context) error { ran = true; return nil })
+	if err := g2.Wait(); !errors.Is(err, context.Canceled) {
+		t.Errorf("Wait = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Error("GoCtx ran a task on a cancelled group")
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -77,8 +78,9 @@ const statusClientClosedRequest = 499
 // workload-dependent anyway, and the gauges are the real signal.
 const retryAfterSeconds = 1
 
-// Server is the inference service. Construct with New; serve either via
-// Handler (to mount on an existing mux / httptest) or Start + Shutdown.
+// Server is the inference service. Construct with New or NewContext;
+// serve either via Handler (to mount on an existing mux / httptest) or
+// Start + Shutdown.
 type Server struct {
 	cfg      Config
 	o        *obs.Observer
@@ -89,6 +91,14 @@ type Server struct {
 	maxBody  int64
 	draining atomic.Bool
 
+	// baseCtx parents detached (?async=1) jobs: they outlive their
+	// originating request, so they hang off the server's lifetime context
+	// instead of the request's. jobsWG tracks their goroutines for
+	// Shutdown; jobs is the registry behind GET /v1/jobs/{id}.
+	baseCtx context.Context
+	jobs    *jobRegistry
+	jobsWG  sync.WaitGroup
+
 	httpSrv *http.Server
 	lis     net.Listener
 
@@ -97,10 +107,21 @@ type Server struct {
 	hits       *obs.Counter
 	misses     *obs.Counter
 	jobSeconds *obs.Histogram
+	sseEvents  *obs.Counter
 }
 
-// New builds a Server from the config.
+// New builds a Server from the config. It is NewContext without a
+// lifetime context — detached jobs then only stop via DELETE or Shutdown.
 func New(cfg Config) *Server {
+	return NewContext(context.Background(), cfg)
+}
+
+// NewContext builds a Server whose detached (?async=1) jobs run under
+// ctx: cancelling it cancels every such job.
+func NewContext(ctx context.Context, cfg Config) *Server {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	jobs := par.Workers(cfg.Jobs)
 	queue := cfg.QueueDepth
 	if queue == 0 {
@@ -134,20 +155,27 @@ func New(cfg Config) *Server {
 		slots:   make(chan struct{}, jobs+queue),
 		run:     make(chan struct{}, jobs),
 		maxBody: maxBody,
+		baseCtx: ctx,
+		jobs:    newJobRegistry(),
 
 		inflight:   o.Gauge(obs.MetricServeInFlight),
 		queued:     o.Gauge(obs.MetricServeQueueDepth),
 		hits:       o.Counter(obs.MetricServeCacheHits),
 		misses:     o.Counter(obs.MetricServeCacheMisses),
 		jobSeconds: o.Histogram(obs.MetricServeJobSeconds, nil),
+		sseEvents:  o.Counter(obs.MetricServeSSEEvents),
 	}
 }
 
-// Handler returns the service's HTTP handler: POST /v1/infer, GET
-// /healthz, GET /metrics.
+// Handler returns the service's HTTP handler: POST /v1/infer (plus its
+// ?stream=1 inline-SSE and ?async=1 detached modes), the job API under
+// /v1/jobs/{id}, GET /healthz and GET /metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/infer", s.instrument("infer", s.handleInfer))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs", s.handleJobStatus))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("jobs", s.handleJobCancel))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.instrument("job_events", s.handleJobEvents))
 	mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
 	return mux
@@ -173,10 +201,24 @@ func (s *Server) Start(addr string) (string, error) {
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.o.Log(obs.LevelInfo, "becaused draining", "inflight", s.inflight.Value(), "queued", s.queued.Value())
-	if s.httpSrv == nil {
-		return nil
+	var err error
+	if s.httpSrv != nil {
+		err = s.httpSrv.Shutdown(ctx)
 	}
-	return s.httpSrv.Shutdown(ctx)
+	// Detached jobs are not in-flight requests; drain them too.
+	done := make(chan struct{})
+	go func() {
+		s.jobsWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	return err
 }
 
 // instrument wraps a handler with the per-endpoint request/status counter.
@@ -184,7 +226,10 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 	return func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
 		h(sw, r)
-		code := sw.status
+		code := sw.recorded
+		if code == 0 {
+			code = sw.status
+		}
 		if code == 0 {
 			code = http.StatusOK
 		}
@@ -195,6 +240,10 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	// recorded overrides status for the request counter. SSE handlers use
+	// it when the outcome (client disconnected → 499) is only known after
+	// the 200 header has already gone out.
+	recorded int
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -202,6 +251,17 @@ func (w *statusWriter) WriteHeader(code int) {
 		w.status = code
 	}
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// record sets the status the request counter reports, regardless of what
+// was written to the wire.
+func (w *statusWriter) record(code int) { w.recorded = code }
+
+// Flush forwards to the underlying writer so SSE frames leave promptly.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -268,18 +328,41 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	q := r.URL.Query()
+	async := q.Get("async") == "1"
+	stream := q.Get("stream") == "1"
+	if async && stream {
+		jsonError(w, http.StatusBadRequest, "async=1 and stream=1 are mutually exclusive", "")
+		return
+	}
+
 	key := requestKey(observations, opts)
 	if s.cache != nil {
 		if payload, ok := s.cache.get(key); ok {
 			s.hits.Inc()
-			writeResult(w, payload, true)
+			// Even a cache hit mints a job, so every accepted request has
+			// an inspectable record; it is born terminal.
+			j := s.jobs.create(key, func() {})
+			j.trace.Root().SetAttr("cache", "hit")
+			j.trace.Root().End()
+			j.finish(jobDone, payload, true, "")
+			s.countJob(j)
+			switch {
+			case async:
+				writeJSON(w, http.StatusAccepted, jobAcceptedEnvelope(j))
+			case stream:
+				s.streamInfer(w, r, j)
+			default:
+				writeResult(w, payload, true, j.id)
+			}
 			return
 		}
 		s.misses.Inc()
 	}
 
 	// Admission: a free slot means we may wait for a worker; no slot means
-	// the queue is full and the honest answer is backpressure, now.
+	// the queue is full and the honest answer is backpressure, now. Jobs
+	// are only minted for admitted requests — a 429 leaves no record.
 	select {
 	case s.slots <- struct{}{}:
 	default:
@@ -287,26 +370,42 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusTooManyRequests, "job queue full, retry later", "")
 		return
 	}
-	defer func() { <-s.slots }()
 
-	s.queued.Add(1)
-	select {
-	case s.run <- struct{}{}:
-		s.queued.Add(-1)
-	case <-r.Context().Done():
-		s.queued.Add(-1)
-		jsonError(w, statusClientClosedRequest, "client closed request", "")
+	if async {
+		// Detached: the job outlives this request, parented on the
+		// server's lifetime context. DELETE /v1/jobs/{id} cancels it.
+		jctx, jcancel := context.WithCancel(s.baseCtx)
+		j := s.jobs.create(key, jcancel)
+		opts.OnProgress = j.appendProgress
+		s.jobsWG.Add(1)
+		go func() {
+			defer s.jobsWG.Done()
+			defer jcancel()
+			s.runJob(jctx, j, observations, opts) //nolint:errcheck // the terminal state is recorded on the job
+		}()
+		writeJSON(w, http.StatusAccepted, jobAcceptedEnvelope(j))
 		return
 	}
-	defer func() { <-s.run }()
 
-	s.inflight.Add(1)
-	// Observability-only timing: feeds the job-duration histogram, never
-	// the inference itself.
-	start := time.Now() //lint:allow determinism
-	res, err := s.infer(r.Context(), observations, opts)
-	s.jobSeconds.Observe(time.Since(start).Seconds()) //lint:allow determinism — observability-only
-	s.inflight.Add(-1)
+	jctx, jcancel := context.WithCancel(r.Context())
+	defer jcancel()
+	j := s.jobs.create(key, jcancel)
+	opts.OnProgress = j.appendProgress
+
+	if stream {
+		// Inline SSE: run the job concurrently and stream its events on
+		// this response. A disconnect cancels the job via jctx.
+		finished := make(chan struct{})
+		go func() {
+			defer close(finished)
+			s.runJob(jctx, j, observations, opts) //nolint:errcheck // the terminal state is recorded on the job
+		}()
+		s.streamInfer(w, r, j)
+		<-finished
+		return
+	}
+
+	payload, err := s.runJob(jctx, j, observations, opts)
 	if err != nil {
 		switch {
 		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
@@ -318,15 +417,153 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	writeResult(w, payload, false, j.id)
+}
+
+// runJob executes an admitted job: wait for a run token, sample under the
+// job's trace, cache, and record the terminal state. It owns the
+// admission slot taken by the caller and releases it on return. The
+// returned error mirrors the job's terminal state for synchronous
+// handlers; detached callers read the job instead.
+func (s *Server) runJob(ctx context.Context, j *job, observations []because.PathObservation, opts because.Options) ([]byte, error) {
+	defer func() { <-s.slots }()
+	defer s.countJob(j)
+	s.queued.Add(1)
+	select {
+	case s.run <- struct{}{}:
+		s.queued.Add(-1)
+	case <-ctx.Done():
+		s.queued.Add(-1)
+		j.trace.Root().End()
+		j.finish(jobCancelled, nil, false, "job cancelled before start")
+		return nil, ctx.Err()
+	}
+	defer func() { <-s.run }()
+
+	j.setRunning()
+	s.inflight.Add(1)
+	// Observability-only timing: feeds the job-duration histogram, never
+	// the inference itself.
+	start := time.Now() //lint:allow determinism
+	res, err := s.infer(obs.ContextWithSpan(ctx, j.trace.Root()), observations, opts)
+	s.jobSeconds.Observe(time.Since(start).Seconds()) //lint:allow determinism — observability-only
+	s.inflight.Add(-1)
+	j.trace.Root().End()
+	if err != nil {
+		if ctx.Err() != nil {
+			j.finish(jobCancelled, nil, false, "job cancelled")
+			return nil, ctx.Err()
+		}
+		j.finish(jobFailed, nil, false, err.Error())
+		return nil, err
+	}
 	payload, err := json.Marshal(res)
 	if err != nil {
-		jsonError(w, http.StatusInternalServerError, "encoding result: "+err.Error(), "")
-		return
+		j.finish(jobFailed, nil, false, "encoding result: "+err.Error())
+		return nil, fmt.Errorf("encoding result: %w", err)
 	}
 	if s.cache != nil {
-		s.cache.put(key, payload)
+		s.cache.put(j.key, payload)
 	}
-	writeResult(w, payload, false)
+	j.finish(jobDone, payload, false, "")
+	return payload, nil
+}
+
+// countJob bumps the terminal-state job counter (idempotence is the
+// caller's job: it runs once per job, when the job finishes).
+func (s *Server) countJob(j *job) {
+	if s.o != nil {
+		s.o.Counter(obs.MetricServeJobs, "state", string(j.stateNow())).Inc()
+	}
+}
+
+// streamInfer serves the ?stream=1 inline mode: a 200 text/event-stream
+// response carrying a "job" frame, every "progress" frame in order, and a
+// terminal "result" (success) or "error" frame. If the client disconnects
+// first, the job is cancelled through its context and the request is
+// counted under the existing 499 path.
+func (s *Server) streamInfer(w http.ResponseWriter, r *http.Request, j *job) {
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-store")
+	h.Set("X-Job-ID", j.id)
+	w.WriteHeader(http.StatusOK)
+	writeSSEEvent(w, "job", jobAcceptedEnvelope(j)) //nolint:errcheck // a dead client is detected below
+	_, terminal := s.streamEvents(r.Context(), w, j, 0)
+	if !terminal {
+		// Client went away mid-stream: stop the sampling and record the
+		// 499 the synchronous path would have returned.
+		j.cancel()
+		if sw, ok := w.(*statusWriter); ok {
+			sw.record(statusClientClosedRequest)
+		}
+		return
+	}
+	st := j.status(true)
+	switch st.State {
+	case string(jobDone):
+		writeSSEEvent(w, "result", streamResultEnvelope(st)) //nolint:errcheck // stream is ending either way
+	case string(jobCancelled):
+		writeSSEEvent(w, "error", streamErrorEnvelope(statusClientClosedRequest, st)) //nolint:errcheck
+		if sw, ok := w.(*statusWriter); ok {
+			sw.record(statusClientClosedRequest)
+		}
+	default:
+		writeSSEEvent(w, "error", streamErrorEnvelope(http.StatusInternalServerError, st)) //nolint:errcheck
+	}
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		jsonError(w, http.StatusNotFound, "unknown job", "")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status(true))
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		jsonError(w, http.StatusNotFound, "unknown job", "")
+		return
+	}
+	j.cancel()
+	writeJSON(w, http.StatusOK, j.status(false))
+}
+
+// handleJobEvents streams a job's progress events as SSE, replaying the
+// buffer from ?cursor (default 0) and following live until the job ends;
+// the stream closes with a "done" frame carrying the resultless status.
+// A watcher disconnecting does NOT cancel the job — only the inline
+// ?stream=1 owner and DELETE do.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		jsonError(w, http.StatusNotFound, "unknown job", "")
+		return
+	}
+	cursor := 0
+	if c := r.URL.Query().Get("cursor"); c != "" {
+		n, err := strconv.Atoi(c)
+		if err != nil || n < 0 {
+			jsonError(w, http.StatusBadRequest, "cursor must be a non-negative integer", "cursor")
+			return
+		}
+		cursor = n
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-store")
+	h.Set("X-Job-ID", j.id)
+	w.WriteHeader(http.StatusOK)
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+	_, terminal := s.streamEvents(r.Context(), w, j, cursor)
+	if terminal {
+		writeSSEEvent(w, "done", j.status(false)) //nolint:errcheck // stream is ending either way
+	}
 }
 
 // validationField extracts the offending field name from a
@@ -340,8 +577,9 @@ func validationField(err error) string {
 }
 
 // writeResult sends the versioned success envelope. result is the
-// marshalled because.Result document (itself schema-versioned).
-func writeResult(w http.ResponseWriter, result []byte, cached bool) {
+// marshalled because.Result document (itself schema-versioned); jobID
+// links the response to its job record (additive schema growth).
+func writeResult(w http.ResponseWriter, result []byte, cached bool, jobID string) {
 	state := "miss"
 	if cached {
 		state = "hit"
@@ -350,8 +588,9 @@ func writeResult(w http.ResponseWriter, result []byte, cached bool) {
 	writeJSON(w, http.StatusOK, struct {
 		SchemaVersion int             `json:"schema_version"`
 		Cached        bool            `json:"cached"`
+		JobID         string          `json:"job_id,omitempty"`
 		Result        json.RawMessage `json:"result"`
-	}{because.SchemaVersion, cached, result})
+	}{because.SchemaVersion, cached, jobID, result})
 }
 
 // jsonError sends the versioned error envelope.

@@ -3,6 +3,7 @@ package serve
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 
 	"because"
@@ -82,6 +83,60 @@ func (r *InferRequest) toOptions(chainWorkers int, o *obs.Observer) ([]because.P
 		observations[i] = because.PathObservation{Path: ob.Path, ShowsProperty: ob.Positive, Weight: ob.Weight}
 	}
 	return observations, opts, nil
+}
+
+// JobStatus is the GET /v1/jobs/{id} envelope: lifecycle state, event
+// accounting and the request-scoped trace. The full result document rides
+// along once the job is done. The trace is deterministic per request —
+// same span tree and IDs at any worker count; only timings vary.
+type JobStatus struct {
+	SchemaVersion int              `json:"schema_version"`
+	JobID         string           `json:"job_id"`
+	State         string           `json:"state"`
+	Cached        bool             `json:"cached,omitempty"`
+	Error         string           `json:"error,omitempty"`
+	Events        int              `json:"events"`
+	DroppedEvents int              `json:"dropped_events,omitempty"`
+	Trace         *obs.TraceExport `json:"trace,omitempty"`
+	Result        json.RawMessage  `json:"result,omitempty"`
+}
+
+// JobAccepted is the 202 envelope for POST /v1/infer?async=1 and the
+// opening "job" SSE frame of the inline stream mode.
+type JobAccepted struct {
+	SchemaVersion int    `json:"schema_version"`
+	JobID         string `json:"job_id"`
+	State         string `json:"state"`
+}
+
+func jobAcceptedEnvelope(j *job) JobAccepted {
+	return JobAccepted{SchemaVersion: because.SchemaVersion, JobID: j.id, State: string(j.stateNow())}
+}
+
+// streamResultEnvelope is the terminal "result" SSE frame of the inline
+// stream mode — the same shape writeResult sends on the synchronous path.
+func streamResultEnvelope(st JobStatus) any {
+	return struct {
+		SchemaVersion int             `json:"schema_version"`
+		Cached        bool            `json:"cached"`
+		JobID         string          `json:"job_id,omitempty"`
+		Result        json.RawMessage `json:"result"`
+	}{because.SchemaVersion, st.Cached, st.JobID, st.Result}
+}
+
+// streamErrorEnvelope is the terminal "error" SSE frame: the jsonError
+// envelope plus the HTTP status it would have carried and the job ID.
+func streamErrorEnvelope(code int, st JobStatus) any {
+	msg := st.Error
+	if msg == "" {
+		msg = "job " + st.State
+	}
+	return struct {
+		SchemaVersion int    `json:"schema_version"`
+		Error         string `json:"error"`
+		Code          int    `json:"code"`
+		JobID         string `json:"job_id,omitempty"`
+	}{because.SchemaVersion, msg, code, st.JobID}
 }
 
 // requestKey hashes the canonicalised request — observations in order,

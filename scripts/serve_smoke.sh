@@ -3,8 +3,10 @@
 #
 # Builds bin/becaused, starts it on an ephemeral port, POSTs a small
 # inference twice (asserting 200 and a cache hit on the repeat), checks the
-# cache counter on /metrics, then SIGTERMs the daemon and asserts a clean
-# drain (exit 0). Needs only sh + curl + the Go toolchain.
+# cache counter on /metrics, drives the job API end to end — an inline
+# ?stream=1 SSE inference, a GET /v1/jobs/{id} status poll (state, trace)
+# and a buffered-events SSE replay — then SIGTERMs the daemon and asserts
+# a clean drain (exit 0). Needs only sh + curl + the Go toolchain.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -16,7 +18,8 @@ go build -o bin/becaused ./cmd/becaused
 
 OUT=$(mktemp)
 BODY=$(mktemp)
-trap 'kill "$PID" 2>/dev/null || true; rm -f "$OUT" "$BODY"' EXIT
+SSE=$(mktemp)
+trap 'kill "$PID" 2>/dev/null || true; rm -f "$OUT" "$BODY" "$SSE"' EXIT
 
 bin/becaused -addr 127.0.0.1:0 -chain-workers 2 >"$OUT" 2>&1 &
 PID=$!
@@ -55,6 +58,37 @@ curl -s "http://$ADDR/metrics" >"$BODY"
 grep -q '^because_serve_cache_hits_total 1$' "$BODY" || fail "cache hit counter wrong: $(grep because_serve "$BODY" || true)"
 grep -q '^because_serve_cache_misses_total 1$' "$BODY" || fail "cache miss counter wrong: $(grep because_serve "$BODY" || true)"
 log "metrics exposition OK"
+
+# Job API, live: a fresh query (new seed, so no cache hit) over the inline
+# ?stream=1 SSE mode must deliver a job frame, at least one progress
+# event, and a terminal result frame on the same response.
+REQ2='{"observations":[{"path":[64500,64510],"positive":true},{"path":[64500,64520],"positive":false},{"path":[64501,64510],"positive":true}],"options":{"seed":2,"mh_sweeps":200,"mh_burn_in":50,"hmc_iterations":50,"hmc_burn_in":10}}'
+curl -s -N --max-time 60 -X POST -d "$REQ2" "http://$ADDR/v1/infer?stream=1" >"$SSE" \
+    || fail "inline SSE inference failed: $(cat "$SSE")"
+grep -q '^event: job$' "$SSE" || fail "stream carried no job frame: $(cat "$SSE")"
+PROGRESS=$(grep -c '^event: progress$' "$SSE") || true
+[ "${PROGRESS:-0}" -ge 1 ] || fail "stream carried no progress events: $(cat "$SSE")"
+grep -q '^event: result$' "$SSE" || fail "stream carried no result frame: $(cat "$SSE")"
+JOB=$(sed -n 's/.*"job_id":"\(job-[0-9]*\)".*/\1/p' "$SSE" | head -n 1)
+[ -n "$JOB" ] || fail "stream carried no job ID: $(cat "$SSE")"
+log "inline SSE stream OK ($PROGRESS progress events, $JOB)"
+
+# The job record stays queryable afterwards: state, event count and the
+# deterministic request trace.
+CODE=$(curl -s -o "$BODY" -w '%{http_code}' "http://$ADDR/v1/jobs/$JOB")
+[ "$CODE" = 200 ] || fail "job status poll returned $CODE: $(cat "$BODY")"
+grep -q '"state":"done"' "$BODY" || fail "job not done: $(cat "$BODY")"
+grep -q '"trace_id"' "$BODY" || fail "job status carries no trace: $(cat "$BODY")"
+log "job status poll OK"
+
+# The events endpoint replays the buffered progress gaplessly and closes
+# with a done frame once the job is terminal.
+curl -s -N --max-time 10 "http://$ADDR/v1/jobs/$JOB/events" >"$SSE" \
+    || fail "job events stream failed: $(cat "$SSE")"
+grep -q '^event: progress$' "$SSE" || fail "events replay carried no progress: $(cat "$SSE")"
+grep -q '^event: done$' "$SSE" || fail "events replay carried no done frame: $(cat "$SSE")"
+grep -q '"seq":0' "$SSE" || fail "events replay does not start at seq 0: $(cat "$SSE")"
+log "job events replay OK"
 
 kill -TERM "$PID"
 if ! wait "$PID"; then

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test tier1 vet lint becauselint wire-lock race verify bench bench-all fuzz serve-smoke clean
+.PHONY: all build test tier1 vet lint becauselint wire-lock race verify bench bench-all fuzz serve-smoke scenario-matrix scenario-update clean
 
 # Short fuzzing budget per target; raise for a real fuzzing session, e.g.
 #   make fuzz FUZZTIME=10m
@@ -72,6 +72,18 @@ serve-smoke:
 fuzz:
 	$(GO) test ./internal/bgp -run=^$$ -fuzz='^FuzzDecodeUpdate$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/mrt -run=^$$ -fuzz='^FuzzParseTableDump$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/scenario -run=^$$ -fuzz='^FuzzParseScenario$$' -fuzztime=$(FUZZTIME)
+
+# scenario-matrix runs the declarative scenario regression matrix: every
+# corpus scenario under internal/scenario/testdata/scenarios is rendered
+# against its checked-in golden and executed end to end (campaign,
+# inference, expectation checks). scenario-update regenerates the goldens
+# after a reviewed simulator change; review the diff like code.
+scenario-matrix:
+	$(GO) test ./internal/scenario -count=1 -v -run '^(TestGolden|TestRenderWorkersInvariant|TestScenarioMatrix)$$'
+
+scenario-update:
+	$(GO) test ./internal/scenario -run '^TestGolden$$' -update
 
 clean:
 	$(GO) clean ./...

@@ -32,6 +32,14 @@
 // attributes — as a JSON document. The span tree and IDs are identical
 // for identical inputs at any -workers value; only the timings vary.
 //
+// Scenario mode: `becausectl scenario list|render|run` works with the
+// declarative scenario corpus (internal/scenario) instead of raw path
+// datasets — `list` shows the embedded corpus, `render` prints a
+// scenario's canonical resolved configuration (the golden form), and
+// `run` executes it end to end and reports the outcome, exiting 1 when
+// the document's expectations fail. `render` and `run` accept `-in
+// file.json` for documents outside the corpus.
+//
 // Remote mode: -remote points becausectl at a running becaused and the
 // inference executes there instead of in-process. The query is sent as
 // POST /v1/infer?stream=1; -progress then renders the daemon's live SSE
@@ -87,6 +95,7 @@ type options struct {
 }
 
 func main() {
+	scenarioDispatch()
 	var o options
 	flag.StringVar(&o.in, "in", "", "input JSON file (default: stdin)")
 	flag.Uint64Var(&o.seed, "seed", 0, "inference seed")

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"because"
+	"because/internal/scenario"
+)
+
+// scenarioUsage documents the scenario subcommand family.
+const scenarioUsage = `usage: becausectl scenario <command> [flags] [name]
+
+Commands:
+  list              list the embedded corpus scenarios
+  render [name]     print a scenario's canonical resolved configuration
+  run    [name]     execute a scenario and report the outcome
+
+render and run take a corpus scenario name, or -in file.json for a
+scenario document on disk. run exits 1 when the scenario's expectations
+fail and 2 on invalid input.
+`
+
+// scenarioMain dispatches `becausectl scenario <cmd>` and returns the
+// process exit code.
+func scenarioMain(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprint(stderr, scenarioUsage)
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "list":
+		err = scenarioList(stdout)
+	case "render":
+		err = scenarioRender(args[1:], stdout, stderr)
+	case "run":
+		err = scenarioRun(args[1:], stdout, stderr)
+	case "-h", "-help", "--help", "help":
+		fmt.Fprint(stdout, scenarioUsage)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "becausectl scenario: unknown command %q\n%s", args[0], scenarioUsage)
+		return 2
+	}
+	if err != nil {
+		if errors.Is(err, errExpectationsFailed) {
+			// The failures were already printed as the command's output.
+			return 1
+		}
+		fmt.Fprintln(stderr, "becausectl scenario:", err)
+		if errors.Is(err, because.ErrInvalidOptions) || errors.Is(err, scenario.ErrUnknownScenario) {
+			return 2
+		}
+		return 1
+	}
+	return 0
+}
+
+// errExpectationsFailed signals an executed scenario whose expectations
+// did not hold — a distinct exit code (1) from invalid input (2).
+var errExpectationsFailed = errors.New("scenario expectations failed")
+
+func scenarioList(stdout io.Writer) error {
+	names := scenario.Names()
+	sort.Strings(names)
+	fmt.Fprintf(stdout, "%-16s %-8s %-10s %s\n", "NAME", "WORKLOAD", "SEED", "DESCRIPTION")
+	for _, name := range names {
+		spec, err := scenario.ByName(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%-16s %-8s %-10d %s\n", spec.Name, spec.ResolvedWorkload(), spec.Seed, spec.Description)
+	}
+	return nil
+}
+
+// splitName peels a leading positional scenario name off args so both
+// `run name -flags` and `run -flags name` parse — the flag package stops
+// at the first non-flag argument, which would otherwise swallow the
+// flags after a leading name.
+func splitName(args []string) (string, []string) {
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		return args[0], args[1:]
+	}
+	return "", args
+}
+
+// resolveSpec loads the scenario a subcommand names: -in takes a document
+// path, otherwise the single positional argument is a corpus name.
+func resolveSpec(in string, positional []string) (*scenario.Spec, error) {
+	if in != "" {
+		if len(positional) > 0 {
+			return nil, &because.ValidationError{Field: "name", Reason: "-in and a scenario name are mutually exclusive"}
+		}
+		return scenario.Load(in)
+	}
+	if len(positional) != 1 {
+		return nil, &because.ValidationError{Field: "name", Reason: fmt.Sprintf("want exactly one scenario name (have %s)", scenario.Names())}
+	}
+	return scenario.ByName(positional[0])
+}
+
+// positionals merges a peeled leading name with whatever positional
+// arguments survived flag parsing.
+func positionals(name string, fs *flag.FlagSet) []string {
+	args := fs.Args()
+	if name != "" {
+		args = append([]string{name}, args...)
+	}
+	return args
+}
+
+func scenarioRender(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("scenario render", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "render a scenario document from this file instead of the corpus")
+	name, rest := splitName(args)
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	spec, err := resolveSpec(*in, positionals(name, fs))
+	if err != nil {
+		return err
+	}
+	text, err := scenario.Render(spec)
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(stdout, text)
+	return err
+}
+
+func scenarioRun(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("scenario run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "run a scenario document from this file instead of the corpus")
+	jsonOut := fs.Bool("json", false, "emit the outcome as JSON instead of text")
+	workers := fs.Int("workers", 0, "override the document's worker count (0 = keep; results are identical at any setting)")
+	name, rest := splitName(args)
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	spec, err := resolveSpec(*in, positionals(name, fs))
+	if err != nil {
+		return err
+	}
+	if *workers != 0 {
+		spec.Workers = *workers
+	}
+	out, err := scenario.Run(context.Background(), spec)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(stdout, "scenario %s (%s): planted=%d detectable=%d flagged=%d tp=%d fp=%d fdr=%.3f recall=%.3f\n",
+			out.Name, out.Workload, out.Planted, out.Detectable, out.Flagged,
+			out.TruePositives, out.FalsePositives, out.FalseDiscovery, out.DetectableRecall)
+		keys := make([]string, 0, len(out.Categories))
+		for k := range out.Categories {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(stdout, "  AS %s: category %d\n", k, out.Categories[k])
+		}
+		if out.OK() {
+			fmt.Fprintln(stdout, "expectations: ok")
+		} else {
+			for _, f := range out.Failures {
+				fmt.Fprintf(stdout, "expectation failed: %s\n", f)
+			}
+		}
+	}
+	if !out.OK() {
+		return errExpectationsFailed
+	}
+	return nil
+}
+
+// scenarioDispatch intercepts the scenario subcommand before the flag
+// package sees the top-level flags; every other invocation falls through
+// to the classic flag-driven CLI.
+func scenarioDispatch() {
+	if len(os.Args) > 1 && os.Args[1] == "scenario" {
+		os.Exit(scenarioMain(os.Args[2:], os.Stdout, os.Stderr))
+	}
+}

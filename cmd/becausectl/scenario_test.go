@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"because/internal/scenario"
+)
+
+func TestScenarioListCommand(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := scenarioMain([]string{"list"}, &out, &errb); code != 0 {
+		t.Fatalf("scenario list exited %d: %s", code, errb.String())
+	}
+	for _, name := range scenario.Names() {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("list output missing corpus scenario %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestScenarioRenderCommand(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := scenarioMain([]string{"render", "small-world"}, &out, &errb); code != 0 {
+		t.Fatalf("scenario render exited %d: %s", code, errb.String())
+	}
+	// The command must emit exactly the golden form the matrix pins.
+	golden, err := os.ReadFile(filepath.Join("..", "..", "internal", "scenario", "testdata", "scenarios", "golden", "small-world.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(golden) {
+		t.Errorf("render output differs from the checked-in golden:\n%s", out.String())
+	}
+}
+
+func TestScenarioUnknownName(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := scenarioMain([]string{"render", "no-such"}, &out, &errb); code != 2 {
+		t.Errorf("unknown scenario exited %d, want 2 (%s)", code, errb.String())
+	}
+	if code := scenarioMain([]string{"bogus"}, &out, &errb); code != 2 {
+		t.Errorf("unknown subcommand exited %d, want 2", code)
+	}
+}
+
+func TestScenarioRunCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real campaign")
+	}
+	var out, errb bytes.Buffer
+	if code := scenarioMain([]string{"run", "-json", "small-world"}, &out, &errb); code != 0 {
+		t.Fatalf("scenario run exited %d: %s", code, errb.String())
+	}
+	var oc scenario.Outcome
+	if err := json.Unmarshal(out.Bytes(), &oc); err != nil {
+		t.Fatalf("run -json output is not an outcome: %v\n%s", err, out.String())
+	}
+	if oc.Name != "small-world" || !oc.OK() {
+		t.Errorf("outcome = %+v", oc)
+	}
+}
+
+// TestScenarioRunFailingExpectations pins the exit-code contract: a
+// scenario that executes fine but misses its expectations exits 1, with
+// the failures printed as ordinary output.
+func TestScenarioRunFailingExpectations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real campaign")
+	}
+	spec, err := scenario.ByName("small-world")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Expect.MinDampers = 1000 // unsatisfiable
+	doc, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "small-world.json")
+	if err := os.WriteFile(path, doc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	code := scenarioMain([]string{"run", "-in", path}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("failing scenario exited %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "expectation failed") {
+		t.Errorf("failures not printed:\n%s", out.String())
+	}
+}

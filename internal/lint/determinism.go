@@ -29,6 +29,10 @@ var DefaultDeterminismPaths = []string{
 	// or randomness. Its span/log timestamp reads — observability-only by
 	// design — carry justified //lint:allow annotations.
 	"internal/obs",
+	// internal/scenario renders and runs declarative scenario documents
+	// whose goldens are byte-compared in CI; a clock or unseeded RNG there
+	// would make renders (and the regression matrix) flaky by definition.
+	"internal/scenario",
 }
 
 // wallClockFuncs are the time-package functions whose results depend on

@@ -40,11 +40,13 @@ func WireDrift() *Analyzer {
 // wire packages, shared by the analyzer (WireDrift) and the lock
 // regenerator (WriteWireLock) so the two can never disagree about what
 // the surface is: the module root (because.Result / because.ASReport),
-// internal/serve (request, response and job/event envelopes) and
-// internal/obs (the trace export embedded in job status documents).
+// internal/serve (request, response and job/event envelopes),
+// internal/obs (the trace export embedded in job status documents) and
+// internal/scenario (the scenario document format and the outcome
+// served by POST /v1/scenarios/{name}/infer).
 func productionWireConfig() wireDriftConfig {
 	return wireDriftConfig{
-		pkgSuffixes: []string{"internal/serve", "internal/obs"},
+		pkgSuffixes: []string{"internal/serve", "internal/obs", "internal/scenario"},
 		includeRoot: true,
 	}
 }

@@ -101,7 +101,10 @@ func TestWireDriftCatchesServeTagEdit(t *testing.T) {
 	if err != nil {
 		t.Fatalf("reading committed wire.lock: %v", err)
 	}
-	doctored := strings.Replace(string(real), "\tseed\tSeed\t", "\tseed_v2\tSeed\t", 1)
+	// scenario.Spec and serve.ScenarioInfo also record a plain `seed`
+	// field; the omitempty column pins the replacement to
+	// serve.RequestOptions.Seed specifically.
+	doctored := strings.Replace(string(real), "\tseed\tSeed\tuint64\tomitempty", "\tseed_v2\tSeed\tuint64\tomitempty", 1)
 	if doctored == string(real) {
 		t.Fatalf("committed wire.lock no longer records serve.RequestOptions.Seed; update this test")
 	}

@@ -1,0 +1,87 @@
+package rfd
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPresetValuesMatchPaper pins every Appendix B parameter preset to
+// the paper's numbers, field by field. These constants ARE the paper's
+// Table/Appendix data — any drift silently re-tunes every experiment, so
+// a change here must be a deliberate, reviewed decision.
+func TestPresetValuesMatchPaper(t *testing.T) {
+	cases := []struct {
+		name string
+		got  Params
+		want Params
+	}{
+		{"cisco", Cisco, Params{
+			WithdrawalPenalty:      1000,
+			ReadvertisementPenalty: 0,
+			AttrChangePenalty:      500,
+			SuppressThreshold:      2000,
+			ReuseThreshold:         750,
+			HalfLife:               15 * time.Minute,
+			MaxSuppressTime:        60 * time.Minute,
+		}},
+		{"juniper", Juniper, Params{
+			WithdrawalPenalty:      1000,
+			ReadvertisementPenalty: 1000,
+			AttrChangePenalty:      500,
+			SuppressThreshold:      3000,
+			ReuseThreshold:         750,
+			HalfLife:               15 * time.Minute,
+			MaxSuppressTime:        60 * time.Minute,
+		}},
+		{"rfc7454", RFC7454, Params{
+			WithdrawalPenalty:      1000,
+			ReadvertisementPenalty: 1000,
+			AttrChangePenalty:      500,
+			SuppressThreshold:      6000,
+			ReuseThreshold:         750,
+			HalfLife:               15 * time.Minute,
+			MaxSuppressTime:        60 * time.Minute,
+		}},
+		{"aggressive-legacy", AggressiveLegacy, Params{
+			WithdrawalPenalty:      1000,
+			ReadvertisementPenalty: 0,
+			AttrChangePenalty:      500,
+			SuppressThreshold:      2000,
+			ReuseThreshold:         750,
+			HalfLife:               45 * time.Minute,
+			MaxSuppressTime:        180 * time.Minute,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.got != tc.want {
+				t.Errorf("%s preset drifted from the paper:\n got %+v\nwant %+v", tc.name, tc.got, tc.want)
+			}
+			if err := tc.got.Validate(); err != nil {
+				t.Errorf("%s preset does not validate: %v", tc.name, err)
+			}
+			if !tc.got.CanSuppress() {
+				t.Errorf("%s preset cannot suppress at all", tc.name)
+			}
+		})
+	}
+}
+
+// TestPresetCanonicalForms pins the canonical render of each preset — the
+// exact strings the scenario goldens embed.
+func TestPresetCanonicalForms(t *testing.T) {
+	cases := map[string]string{
+		"cisco":             "withdrawal=1000 readvertisement=0 attr-change=500 suppress=2000 reuse=750 half-life=15m0s max-suppress=1h0m0s",
+		"juniper":           "withdrawal=1000 readvertisement=1000 attr-change=500 suppress=3000 reuse=750 half-life=15m0s max-suppress=1h0m0s",
+		"rfc7454":           "withdrawal=1000 readvertisement=1000 attr-change=500 suppress=6000 reuse=750 half-life=15m0s max-suppress=1h0m0s",
+		"aggressive-legacy": "withdrawal=1000 readvertisement=0 attr-change=500 suppress=2000 reuse=750 half-life=45m0s max-suppress=3h0m0s",
+	}
+	presets := map[string]Params{
+		"cisco": Cisco, "juniper": Juniper, "rfc7454": RFC7454, "aggressive-legacy": AggressiveLegacy,
+	}
+	for name, want := range cases {
+		if got := presets[name].Canonical(); got != want {
+			t.Errorf("%s Canonical() = %q, want %q", name, got, want)
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package rfd
+
+import "fmt"
+
+// Canonical renders the parameter set to its canonical one-line text form,
+// used by the scenario golden-config renderer. The form is deterministic —
+// a pure function of the field values, with no clock or locale dependence —
+// so byte-comparing two renders is byte-comparing two configurations, and
+// any numeric drift in a preset shows up as a reviewable golden diff.
+func (p Params) Canonical() string {
+	return fmt.Sprintf("withdrawal=%g readvertisement=%g attr-change=%g suppress=%g reuse=%g half-life=%s max-suppress=%s",
+		p.WithdrawalPenalty, p.ReadvertisementPenalty, p.AttrChangePenalty,
+		p.SuppressThreshold, p.ReuseThreshold, p.HalfLife, p.MaxSuppressTime)
+}

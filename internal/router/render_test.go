@@ -1,0 +1,37 @@
+package router
+
+import (
+	"testing"
+
+	"because/internal/bgp"
+	"because/internal/rfd"
+	"because/internal/topology"
+)
+
+func TestRFDPolicyDamps(t *testing.T) {
+	var nilPol *RFDPolicy
+	if nilPol.Damps(1, topology.RelCustomer) {
+		t.Error("nil policy damps")
+	}
+	all := &RFDPolicy{Params: rfd.Cisco}
+	if !all.Damps(1, topology.RelProvider) || !all.Damps(2, topology.RelPeer) {
+		t.Error("nil DampNeighbor must damp every session")
+	}
+	exceptOne := &RFDPolicy{
+		Params:       rfd.Cisco,
+		DampNeighbor: func(nb bgp.ASN, rel topology.Relationship) bool { return nb != 7 },
+	}
+	if exceptOne.Damps(7, topology.RelPeer) {
+		t.Error("spared neighbor damped")
+	}
+	if !exceptOne.Damps(8, topology.RelPeer) {
+		t.Error("non-spared neighbor not damped")
+	}
+	customersOnly := &RFDPolicy{
+		Params:       rfd.Cisco,
+		DampNeighbor: func(nb bgp.ASN, rel topology.Relationship) bool { return rel == topology.RelCustomer },
+	}
+	if !customersOnly.Damps(9, topology.RelCustomer) || customersOnly.Damps(9, topology.RelProvider) {
+		t.Error("customers-only predicate wrong")
+	}
+}

@@ -54,6 +54,23 @@ type RFDPolicy struct {
 	ParamsFor func(prefix bgp.Prefix) *rfd.Params
 }
 
+// Damps reports whether the policy applies damping on the session toward
+// neighbor with the given relationship. It is the single predicate the
+// simulator's receive side evaluates, exposed so configuration renderers
+// (the scenario golden-config path) describe exactly what the router will
+// do rather than re-deriving it from deployment metadata. Nil policies and
+// nil DampNeighbor selectors follow the documented defaults: no damping at
+// all, and damping on every session, respectively.
+func (p *RFDPolicy) Damps(neighbor bgp.ASN, rel topology.Relationship) bool {
+	if p == nil {
+		return false
+	}
+	if p.DampNeighbor == nil {
+		return true
+	}
+	return p.DampNeighbor(neighbor, rel)
+}
+
 // paramsFor resolves the parameter set for one prefix.
 func (p *RFDPolicy) paramsFor(prefix bgp.Prefix) rfd.Params {
 	if p.ParamsFor != nil {
@@ -303,11 +320,7 @@ func (r *Router) addSession(neighbor bgp.ASN, rel topology.Relationship, delay t
 		pending:  make(map[bgp.Prefix]bool),
 		exported: make(map[bgp.Prefix]*exportState),
 	}
-	if r.policy != nil {
-		if r.policy.DampNeighbor == nil || r.policy.DampNeighbor(neighbor, rel) {
-			s.damped = true
-		}
-	}
+	s.damped = r.policy.Damps(neighbor, rel)
 	r.sessions[neighbor] = s
 	// Keep a sorted iteration order (sessions are added in ASN order by
 	// construction, but be explicit about the invariant).

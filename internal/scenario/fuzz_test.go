@@ -1,0 +1,45 @@
+package scenario
+
+import (
+	"path"
+	"testing"
+)
+
+// FuzzParseScenario fuzzes the strict document loader. The corpus
+// scenarios seed the fuzzer with valid documents; mutations probe the
+// decoder and validator. Invariant: whatever Parse accepts must survive a
+// canonical-form round trip and re-validate to the same canonical bytes.
+func FuzzParseScenario(f *testing.F) {
+	for _, name := range Names() {
+		data, err := corpusFS.ReadFile(path.Join(corpusDir, name+".json"))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"format_version":1,"name":"x"}`))
+	f.Add([]byte(`{"format_version":99}`))
+	f.Add([]byte(`nope`))
+	f.Add([]byte(`{}{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Parse(data)
+		if err != nil {
+			return
+		}
+		canon, err := spec.CanonicalJSON()
+		if err != nil {
+			t.Fatalf("accepted document has no canonical form: %v", err)
+		}
+		again, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\ncanonical: %s", err, canon)
+		}
+		canon2, err := again.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(canon) != string(canon2) {
+			t.Fatalf("canonical form not a fixed point:\n%s\n%s", canon, canon2)
+		}
+	})
+}

@@ -1,0 +1,159 @@
+package scenario
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"because/internal/experiment"
+	"because/internal/rfd"
+)
+
+// update regenerates the goldens instead of comparing:
+//
+//	go test ./internal/scenario -run TestGolden -update
+//
+// Review the diff like any other code change — a golden diff means the
+// resolved world changed.
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "scenarios", "golden", name+".golden")
+}
+
+// TestGolden renders every corpus scenario and compares it byte-for-byte
+// against its checked-in golden.
+func TestGolden(t *testing.T) {
+	names := Names()
+	if len(names) < 4 {
+		t.Fatalf("corpus has %d scenarios, want at least 4", len(names))
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			spec, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Render(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := goldenPath(name)
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("render drifted from golden %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}
+
+// TestRenderWorkersInvariant pins that the worker count — a pure
+// concurrency knob — cannot leak into the resolved configuration: the
+// render must be byte-identical at Workers=1 and Workers=4.
+func TestRenderWorkersInvariant(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			seq, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq.Workers, par.Workers = 1, 4
+			a, err := Render(seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Render(par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Errorf("render depends on Workers:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestPerturbationChangesGolden demonstrates the regression property the
+// matrix exists for: deliberately perturbing a planted RFD configuration
+// or a router damping policy produces a render diff, so the golden
+// comparison would catch the change.
+func TestPerturbationChangesGolden(t *testing.T) {
+	spec, err := ByName("small-world")
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := Render(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("rfd-preset", func(t *testing.T) {
+		world, err := spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		asn := sortedDampers(world)[0]
+		d := world.Deployments[asn]
+		d.Params.MaxSuppressTime = 99 * time.Minute
+		world.Deployments[asn] = d
+		if RenderScenario(spec, world) == baseline {
+			t.Error("perturbing a damper's max-suppress-time did not change the render")
+		}
+	})
+
+	t.Run("preset-swap", func(t *testing.T) {
+		world, err := spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, asn := range sortedDampers(world) {
+			d := world.Deployments[asn]
+			if d.ParamsName == "cisco" {
+				d.Params, d.ParamsName = rfd.Juniper, "juniper"
+				world.Deployments[asn] = d
+				break
+			}
+		}
+		if RenderScenario(spec, world) == baseline {
+			t.Error("swapping a cisco damper to juniper did not change the render")
+		}
+	})
+
+	t.Run("router-policy", func(t *testing.T) {
+		world, err := spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Turn the first all-sessions damper into a customers-only one: the
+		// session-level policy resolution (the undamped= list) must move.
+		for _, asn := range sortedDampers(world) {
+			d := world.Deployments[asn]
+			if d.Mode == experiment.DampAll {
+				d.Mode = experiment.DampCustomersOnly
+				world.Deployments[asn] = d
+				break
+			}
+		}
+		if RenderScenario(spec, world) == baseline {
+			t.Error("changing a damper's session policy did not change the render")
+		}
+	})
+}

@@ -1,0 +1,52 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Parse decodes one scenario document and validates it strictly: unknown
+// fields, trailing data and semantic inconsistencies are all errors.
+// Malformed documents yield *because.ValidationError (wire-level failures
+// under the "document" field), so callers can map them to exit code 2 /
+// HTTP 422 uniformly.
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var spec Spec
+	if err := dec.Decode(&spec); err != nil {
+		return nil, errf("document", "invalid scenario JSON: %v", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
+		return nil, errf("document", "trailing data after scenario document")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &spec, nil
+}
+
+// Load reads and parses a scenario document from disk. The document's
+// name must match the file's base name (sans .json) so corpus files and
+// the registry stay in agreement.
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("loading scenario: %w", err)
+	}
+	spec, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", path, err)
+	}
+	if want := strings.TrimSuffix(filepath.Base(path), ".json"); spec.Name != want {
+		return nil, fmt.Errorf("scenario %s: %w", path,
+			errf("name", "document name %q must match file name %q", spec.Name, want))
+	}
+	return spec, nil
+}

@@ -1,0 +1,111 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"because/internal/bgp"
+	"because/internal/collector"
+	"because/internal/experiment"
+)
+
+// Render builds the world the document describes and serializes its
+// resolved configuration to the canonical text form the goldens pin.
+func Render(spec *Spec) (string, error) {
+	world, err := spec.Build()
+	if err != nil {
+		return "", err
+	}
+	return RenderScenario(spec, world), nil
+}
+
+// RenderScenario serializes an already-built world. The output is
+// line-oriented and fully deterministic: sections in fixed order, ASes in
+// ascending ASN order, neighbor lists from the graph's sorted adjacency.
+// Every semantically meaningful resolution — which ASes damp, with which
+// RFC 2439 parameters, over which sessions — appears explicitly, so a
+// change anywhere in the generator, the planting logic or a preset shows
+// up as a golden diff.
+func RenderScenario(spec *Spec, world *experiment.Scenario) string {
+	var b strings.Builder
+	// Workers is deliberately absent: it bounds concurrency without
+	// affecting results, so the render must not change with it.
+	fmt.Fprintf(&b, "scenario %s format=%d seed=%d\n",
+		spec.Name, FormatVersion, spec.Seed)
+	fmt.Fprintf(&b, "workload %s\n", spec.ResolvedWorkload())
+
+	c := spec.BeaconCampaign()
+	ivs := make([]string, len(c.Intervals))
+	for i, iv := range c.Intervals {
+		ivs[i] = iv.String()
+	}
+	fmt.Fprintf(&b, "campaign name=%s intervals=%s burst=%s break=%s pairs=%d\n",
+		c.Name, strings.Join(ivs, ","), c.BurstLen, c.BreakLen, c.Pairs)
+
+	t := spec.Topology
+	fmt.Fprintf(&b, "topology config tier1=%d transit=%d stubs=%d transit-max-providers=%d transit-peer-degree=%g stub-max-providers=%d base-asn=%d\n",
+		t.Tier1, t.Transit, t.Stubs, t.TransitMaxProviders, t.TransitPeerDegree, t.StubMaxProviders, t.BaseASN)
+	fmt.Fprintf(&b, "topology graph %s\n", world.Graph.CanonicalStats())
+
+	if spec.Churn != nil {
+		fmt.Fprintf(&b, "churn prefixes=%d mean-interval=%s\n",
+			spec.Churn.BackgroundPrefixes, spec.Churn.MeanInterval.Std())
+	}
+
+	for _, site := range world.Sites {
+		fmt.Fprintf(&b, "site name=%s as=%d providers=%s\n",
+			site.Name, site.ASN, asnList(world.Graph.AS(site.ASN).Providers()))
+	}
+	for _, vp := range world.VPs {
+		fmt.Fprintf(&b, "vp as=%d project=%s\n", vp.AS, collector.Projects[vp.Project])
+	}
+
+	for _, asn := range sortedDampers(world) {
+		d := world.Deployments[asn]
+		fmt.Fprintf(&b, "damper as=%d mode=%s", asn, d.Mode)
+		if d.Mode == experiment.DampExceptOne {
+			fmt.Fprintf(&b, " spared=%d", d.Spared)
+		}
+		fmt.Fprintf(&b, " preset=%s params={%s} undamped=%s\n",
+			d.ParamsName, d.Params.Canonical(), asnList(undampedSessions(world, asn)))
+	}
+	return b.String()
+}
+
+// sortedDampers returns the planted damper ASNs in ascending order.
+func sortedDampers(world *experiment.Scenario) []bgp.ASN {
+	out := make([]bgp.ASN, 0, len(world.Deployments))
+	for asn := range world.Deployments {
+		out = append(out, asn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// undampedSessions resolves the damper's per-session policy over its
+// actual adjacencies: the neighbors whose announcements it does NOT damp.
+// This is the line that makes inconsistent (except-one) and
+// customers-only deployments visible in the golden.
+func undampedSessions(world *experiment.Scenario, asn bgp.ASN) []bgp.ASN {
+	pol := world.RFDPolicyFor(asn)
+	var out []bgp.ASN
+	for _, nb := range world.Graph.AS(asn).Neighbors {
+		if !pol.Damps(nb.ASN, nb.Rel) {
+			out = append(out, nb.ASN)
+		}
+	}
+	return out
+}
+
+// asnList renders a comma-separated ASN list, "-" when empty.
+func asnList(asns []bgp.ASN) string {
+	if len(asns) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(asns))
+	for i, a := range asns {
+		parts[i] = fmt.Sprintf("%d", a)
+	}
+	return strings.Join(parts, ",")
+}

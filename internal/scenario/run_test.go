@@ -1,0 +1,73 @@
+package scenario
+
+import (
+	"context"
+	"testing"
+)
+
+// TestScenarioMatrix executes every corpus scenario end to end — campaign
+// simulation, inference, expectation checks. This is the regression
+// matrix `make scenario-matrix` runs; under -short only the cheapest
+// scenario runs so the plain suite still covers the full path.
+func TestScenarioMatrix(t *testing.T) {
+	for _, name := range Names() {
+		if testing.Short() && name != "small-world" {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			spec, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := Run(context.Background(), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !out.OK() {
+				t.Errorf("scenario %s expectations failed:", name)
+				for _, f := range out.Failures {
+					t.Errorf("  %s", f)
+				}
+			}
+			t.Logf("%s: planted=%d detectable=%d flagged=%d tp=%d fp=%d fdr=%.3f recall=%.3f cats=%v",
+				out.Name, out.Planted, out.Detectable, out.Flagged, out.TruePositives,
+				out.FalsePositives, out.FalseDiscovery, out.DetectableRecall, out.Categories)
+		})
+	}
+}
+
+// TestRunDeterministicAcrossWorkers pins the outcome contract the serving
+// layer relies on: the same scenario run sequentially and with four
+// workers produces identical outcomes (categories, counts, rates).
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	seq, err := ByName("small-world")
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ByName("small-world")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq.Workers, par.Workers = 1, 4
+	a, err := Run(context.Background(), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Flagged != b.Flagged || a.TruePositives != b.TruePositives ||
+		a.FalsePositives != b.FalsePositives || a.DetectableRecall != b.DetectableRecall {
+		t.Errorf("outcome differs across worker counts:\nworkers=1: %+v\nworkers=4: %+v", a, b)
+	}
+	if len(a.Categories) != len(b.Categories) {
+		t.Fatalf("category maps differ in size: %d vs %d", len(a.Categories), len(b.Categories))
+	}
+	for k, v := range a.Categories {
+		if b.Categories[k] != v {
+			t.Errorf("AS %s: category %d (workers=1) vs %d (workers=4)", k, v, b.Categories[k])
+		}
+	}
+}

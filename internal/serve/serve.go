@@ -168,11 +168,15 @@ func NewContext(ctx context.Context, cfg Config) *Server {
 }
 
 // Handler returns the service's HTTP handler: POST /v1/infer (plus its
-// ?stream=1 inline-SSE and ?async=1 detached modes), the job API under
-// /v1/jobs/{id}, GET /healthz and GET /metrics.
+// ?stream=1 inline-SSE and ?async=1 detached modes), the scenario API
+// (GET /v1/scenarios, POST /v1/scenarios/{name}/infer with the same
+// response modes), the job API under /v1/jobs/{id}, GET /healthz and
+// GET /metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/infer", s.instrument("infer", s.handleInfer))
+	mux.HandleFunc("GET /v1/scenarios", s.instrument("scenarios", s.handleScenarioList))
+	mux.HandleFunc("POST /v1/scenarios/{name}/infer", s.instrument("scenario_infer", s.handleScenarioInfer))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs", s.handleJobStatus))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("jobs", s.handleJobCancel))
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.instrument("job_events", s.handleJobEvents))
@@ -328,6 +332,28 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	s.dispatch(w, r, requestKey(observations, opts), func(j *job) jobWork {
+		o := opts
+		o.OnProgress = j.appendProgress
+		return func(ctx context.Context) (any, error) {
+			return s.infer(ctx, observations, o)
+		}
+	})
+}
+
+// jobWork is the unit a job executes once admitted: it runs under the
+// job's span-carrying context and returns the document to marshal as the
+// job's result. POST /v1/infer closes over an inference call;
+// POST /v1/scenarios/{name}/infer closes over a scenario run.
+type jobWork func(ctx context.Context) (any, error)
+
+// dispatch is the shared request spine behind every job-minting endpoint:
+// result cache, admission with backpressure, and the sync / ?async=1 /
+// ?stream=1 response modes. key identifies the request in the cache; prep
+// builds the job's work once the job exists (so progress callbacks can
+// close over it). Only admitted requests mint jobs — a 429 leaves no
+// record, and a cache hit mints a job born terminal.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, key string, prep func(j *job) jobWork) {
 	q := r.URL.Query()
 	async := q.Get("async") == "1"
 	stream := q.Get("stream") == "1"
@@ -336,7 +362,6 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key := requestKey(observations, opts)
 	if s.cache != nil {
 		if payload, ok := s.cache.get(key); ok {
 			s.hits.Inc()
@@ -361,8 +386,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Admission: a free slot means we may wait for a worker; no slot means
-	// the queue is full and the honest answer is backpressure, now. Jobs
-	// are only minted for admitted requests — a 429 leaves no record.
+	// the queue is full and the honest answer is backpressure, now.
 	select {
 	case s.slots <- struct{}{}:
 	default:
@@ -376,12 +400,12 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		// server's lifetime context. DELETE /v1/jobs/{id} cancels it.
 		jctx, jcancel := context.WithCancel(s.baseCtx)
 		j := s.jobs.create(key, jcancel)
-		opts.OnProgress = j.appendProgress
+		work := prep(j)
 		s.jobsWG.Add(1)
 		go func() {
 			defer s.jobsWG.Done()
 			defer jcancel()
-			s.runJob(jctx, j, observations, opts) //nolint:errcheck // the terminal state is recorded on the job
+			s.runJob(jctx, j, work) //nolint:errcheck // the terminal state is recorded on the job
 		}()
 		writeJSON(w, http.StatusAccepted, jobAcceptedEnvelope(j))
 		return
@@ -390,7 +414,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	jctx, jcancel := context.WithCancel(r.Context())
 	defer jcancel()
 	j := s.jobs.create(key, jcancel)
-	opts.OnProgress = j.appendProgress
+	work := prep(j)
 
 	if stream {
 		// Inline SSE: run the job concurrently and stream its events on
@@ -398,14 +422,14 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		finished := make(chan struct{})
 		go func() {
 			defer close(finished)
-			s.runJob(jctx, j, observations, opts) //nolint:errcheck // the terminal state is recorded on the job
+			s.runJob(jctx, j, work) //nolint:errcheck // the terminal state is recorded on the job
 		}()
 		s.streamInfer(w, r, j)
 		<-finished
 		return
 	}
 
-	payload, err := s.runJob(jctx, j, observations, opts)
+	payload, err := s.runJob(jctx, j, work)
 	if err != nil {
 		switch {
 		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
@@ -420,12 +444,12 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	writeResult(w, payload, false, j.id)
 }
 
-// runJob executes an admitted job: wait for a run token, sample under the
-// job's trace, cache, and record the terminal state. It owns the
-// admission slot taken by the caller and releases it on return. The
+// runJob executes an admitted job: wait for a run token, run the work
+// under the job's trace, cache, and record the terminal state. It owns
+// the admission slot taken by the caller and releases it on return. The
 // returned error mirrors the job's terminal state for synchronous
 // handlers; detached callers read the job instead.
-func (s *Server) runJob(ctx context.Context, j *job, observations []because.PathObservation, opts because.Options) ([]byte, error) {
+func (s *Server) runJob(ctx context.Context, j *job, work jobWork) ([]byte, error) {
 	defer func() { <-s.slots }()
 	defer s.countJob(j)
 	s.queued.Add(1)
@@ -445,7 +469,7 @@ func (s *Server) runJob(ctx context.Context, j *job, observations []because.Path
 	// Observability-only timing: feeds the job-duration histogram, never
 	// the inference itself.
 	start := time.Now() //lint:allow determinism
-	res, err := s.infer(obs.ContextWithSpan(ctx, j.trace.Root()), observations, opts)
+	res, err := work(obs.ContextWithSpan(ctx, j.trace.Root()))
 	s.jobSeconds.Observe(time.Since(start).Seconds()) //lint:allow determinism — observability-only
 	s.inflight.Add(-1)
 	j.trace.Root().End()

@@ -1,0 +1,20 @@
+package topology
+
+import "fmt"
+
+// CanonicalStats renders the graph's shape to its canonical one-line text
+// form: node count, link count and the per-tier breakdown. Everything is
+// derived from the sorted ASN index, so the line is deterministic for a
+// given graph regardless of construction order. The scenario golden-config
+// renderer uses it to pin the resolved topology shape, so a generator
+// change that alters the world surfaces as a golden diff.
+func (g *Graph) CanonicalStats() string {
+	var tiers [3]int
+	for _, asn := range g.asns {
+		if t := g.nodes[asn].Tier; t <= TierStub {
+			tiers[t]++
+		}
+	}
+	return fmt.Sprintf("ases=%d links=%d tier1=%d transit=%d stub=%d",
+		g.Len(), g.Links(), tiers[TierOne], tiers[TierTransit], tiers[TierStub])
+}

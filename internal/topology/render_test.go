@@ -1,0 +1,48 @@
+package topology
+
+import (
+	"testing"
+
+	"because/internal/stats"
+)
+
+func TestCanonicalStats(t *testing.T) {
+	g := NewGraph()
+	if err := g.AddAS(1, TierOne); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddAS(2, TierTransit); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddAS(3, TierStub); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddLink(1, 2, RelCustomer); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddLink(2, 3, RelCustomer); err != nil {
+		t.Fatal(err)
+	}
+	want := "ases=3 links=2 tier1=1 transit=1 stub=1"
+	if got := g.CanonicalStats(); got != want {
+		t.Errorf("CanonicalStats = %q, want %q", got, want)
+	}
+}
+
+// TestCanonicalStatsDeterministic pins that two generations from the same
+// seed render identically — the property the scenario goldens build on.
+func TestCanonicalStatsDeterministic(t *testing.T) {
+	cfg := DefaultGen()
+	cfg.Transit, cfg.Stubs = 20, 40
+	a, err := Generate(cfg, stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg, stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CanonicalStats() != b.CanonicalStats() {
+		t.Errorf("same seed renders differ: %q vs %q", a.CanonicalStats(), b.CanonicalStats())
+	}
+}

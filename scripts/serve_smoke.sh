@@ -5,7 +5,9 @@
 # inference twice (asserting 200 and a cache hit on the repeat), checks the
 # cache counter on /metrics, drives the job API end to end — an inline
 # ?stream=1 SSE inference, a GET /v1/jobs/{id} status poll (state, trace)
-# and a buffered-events SSE replay — then SIGTERMs the daemon and asserts
+# and a buffered-events SSE replay — exercises the named-scenario API
+# (list, a full server-side scenario run, cache hit on repeat, 404 on
+# unknown names) — then SIGTERMs the daemon and asserts
 # a clean drain (exit 0). Needs only sh + curl + the Go toolchain.
 set -eu
 
@@ -89,6 +91,32 @@ grep -q '^event: progress$' "$SSE" || fail "events replay carried no progress: $
 grep -q '^event: done$' "$SSE" || fail "events replay carried no done frame: $(cat "$SSE")"
 grep -q '"seq":0' "$SSE" || fail "events replay does not start at seq 0: $(cat "$SSE")"
 log "job events replay OK"
+
+# Named-scenario API: the corpus listing, then a full scenario execution
+# (campaign + inference server-side) and a cache hit on the repeat.
+CODE=$(curl -s -o "$BODY" -w '%{http_code}' "http://$ADDR/v1/scenarios")
+[ "$CODE" = 200 ] || fail "scenario list returned $CODE: $(cat "$BODY")"
+grep -q '"name":"small-world"' "$BODY" || fail "scenario list missing small-world: $(cat "$BODY")"
+log "scenario list OK"
+
+CODE=$(curl -s -o "$BODY" -w '%{http_code}' --max-time 120 -X POST "http://$ADDR/v1/scenarios/small-world/infer")
+[ "$CODE" = 200 ] || fail "scenario inference returned $CODE: $(cat "$BODY")"
+grep -q '"cached":false' "$BODY" || fail "first scenario response claims to be cached: $(cat "$BODY")"
+grep -q '"name":"small-world"' "$BODY" || fail "scenario outcome missing name: $(cat "$BODY")"
+grep -q '"failures"' "$BODY" && fail "scenario expectations failed: $(cat "$BODY")"
+log "scenario inference OK (miss)"
+
+HDRS=$(mktemp)
+CODE=$(curl -s -o "$BODY" -D "$HDRS" -w '%{http_code}' -X POST "http://$ADDR/v1/scenarios/small-world/infer")
+[ "$CODE" = 200 ] || fail "repeat scenario inference returned $CODE: $(cat "$BODY")"
+grep -qi '^x-cache: hit' "$HDRS" || fail "repeat scenario query not a cache hit: $(cat "$HDRS")"
+rm -f "$HDRS"
+grep -q '"cached":true' "$BODY" || fail "repeat scenario response not marked cached: $(cat "$BODY")"
+log "repeat scenario inference served from cache"
+
+CODE=$(curl -s -o "$BODY" -w '%{http_code}' -X POST "http://$ADDR/v1/scenarios/no-such/infer")
+[ "$CODE" = 404 ] || fail "unknown scenario returned $CODE, want 404: $(cat "$BODY")"
+log "unknown scenario rejected with 404"
 
 kill -TERM "$PID"
 if ! wait "$PID"; then

@@ -24,7 +24,7 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the project-specific analyzers (determinism, maporder,
-# rngshare, obsnil, ctxflow, errflow, wiredrift — see
+# rngshare, obsnil, ctxflow, errflow, wiredrift, hotpath, goleak — see
 # `becauselint -list`). Exit 1 on any finding.
 lint:
 	$(GO) run ./cmd/becauselint ./...
@@ -73,6 +73,7 @@ fuzz:
 	$(GO) test ./internal/bgp -run=^$$ -fuzz='^FuzzDecodeUpdate$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/mrt -run=^$$ -fuzz='^FuzzParseTableDump$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/scenario -run=^$$ -fuzz='^FuzzParseScenario$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/lint -run=^$$ -fuzz='^FuzzParseAllowDirective$$' -fuzztime=$(FUZZTIME)
 
 # scenario-matrix runs the declarative scenario regression matrix: every
 # corpus scenario under internal/scenario/testdata/scenarios is rendered

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"because/internal/bgp"
+	"because/internal/stats"
+)
+
+// benchDataset synthesises a mid-sized measurement set (40 ASes, 160
+// three-hop paths, one planted damper) sized so the per-sweep kernels
+// dominate over cache effects.
+func benchDataset(b *testing.B) *Dataset {
+	b.Helper()
+	rng := stats.NewRNG(7)
+	obs := make([]PathObs, 0, 160)
+	for k := 0; k < 160; k++ {
+		path := make([]bgp.ASN, 3)
+		positive := false
+		for j := range path {
+			// Paths must not repeat an AS; redraw collisions.
+			for {
+				path[j] = bgp.ASN(1 + rng.Intn(40))
+				if path[j] != path[(j+1)%3] && path[j] != path[(j+2)%3] {
+					break
+				}
+			}
+			if path[j] == 7 {
+				positive = true
+			}
+		}
+		obs = append(obs, PathObs{ASNs: path, Positive: positive})
+	}
+	ds, err := NewDataset(obs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+// BenchmarkMHSweep isolates one Metropolis-within-Gibbs sweep — the MH
+// sampler's inner loop, annotated //lint:hotpath. The contract the
+// hotpath analyzer enforces statically shows up here dynamically: zero
+// allocs/op.
+func BenchmarkMHSweep(b *testing.B) {
+	ds := benchDataset(b)
+	rng := stats.NewRNG(42)
+	n := ds.NumNodes()
+	beta := stats.NewBeta(SparsePrior.Alpha, SparsePrior.Beta)
+	p0 := make([]float64, n)
+	for i := range p0 {
+		p0[i] = clampP(beta.Sample(rng))
+	}
+	st := newLikState(ds, p0, 0)
+	order := make([]int, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mhSweep(st, SparsePrior, 0.15, order, rng)
+	}
+}
+
+// BenchmarkHMCLeapfrog isolates one full HMC trajectory (momentum
+// refresh + 12 leapfrog steps) over caller-owned buffers — the other
+// //lint:hotpath kernel, likewise required to run at zero allocs/op.
+func BenchmarkHMCLeapfrog(b *testing.B) {
+	ds := benchDataset(b)
+	rng := stats.NewRNG(42)
+	n := ds.NumNodes()
+	beta := stats.NewBeta(SparsePrior.Alpha, SparsePrior.Beta)
+	theta := make([]float64, n)
+	p := make([]float64, n)
+	for i := range theta {
+		theta[i] = stats.Logit(clampP(beta.Sample(rng)))
+	}
+	thetaToP(theta, p)
+	st := newLikState(ds, p, 0)
+	stProp := newLikState(ds, p, 0)
+	grad := make([]float64, n)
+	mom := make([]float64, n)
+	thetaProp := make([]float64, n)
+	pProp := make([]float64, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range mom {
+			mom[j] = rng.Norm()
+		}
+		copy(thetaProp, theta)
+		stProp.copyFrom(st)
+		hmcLeapfrog(stProp, SparsePrior, thetaProp, pProp, grad, mom, 0.08, 12)
+	}
+}

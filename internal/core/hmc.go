@@ -112,13 +112,13 @@ func RunHMCContext(ctx context.Context, ds *Dataset, prior Prior, cfg HMCConfig,
 	for i := range theta {
 		theta[i] = stats.Logit(clampP(betaDist.Sample(rng)))
 	}
-	toP := func(theta []float64, p []float64) {
-		for i, th := range theta {
-			p[i] = clampP(stats.Expit(th))
-		}
-	}
-	toP(theta, p)
+	thetaToP(theta, p)
 	st := newLikState(ds, p, cfg.MissRate)
+	// stProp is the proposal's scratch state, allocated once and refreshed
+	// from st per trajectory (copyFrom is exact: HMC never updates logQ
+	// incrementally, so st.logQ always equals a fresh recompute of st.p).
+	// On accept the two states swap pointers instead of allocating.
+	stProp := newLikState(ds, p, cfg.MissRate)
 
 	grad := make([]float64, n)
 	mom := make([]float64, n)
@@ -148,38 +148,10 @@ func RunHMCContext(ctx context.Context, ds *Dataset, prior Prior, cfg HMCConfig,
 			kin0 += mom[i] * mom[i] / 2
 		}
 		copy(thetaProp, theta)
-		copy(pProp, st.p)
-		stProp := newLikState(ds, pProp, cfg.MissRate)
+		stProp.copyFrom(st)
 
 		eps := cfg.StepSize * (1 + cfg.Jitter*(2*rng.Float64()-1))
-		// Leapfrog: half momentum, L-1 full steps, half momentum.
-		stProp.gradLogPostTheta(prior, grad)
-		for i := range mom {
-			mom[i] += eps / 2 * grad[i]
-		}
-		for step := 0; step < cfg.Leapfrog; step++ {
-			for i := range thetaProp {
-				thetaProp[i] += eps * mom[i]
-				// Keep θ in a numerically safe band; expit saturates
-				// beyond ±36 anyway.
-				if thetaProp[i] > 36 {
-					thetaProp[i] = 36
-				}
-				if thetaProp[i] < -36 {
-					thetaProp[i] = -36
-				}
-			}
-			toP(thetaProp, pProp)
-			stProp.setP(pProp)
-			stProp.gradLogPostTheta(prior, grad)
-			scale := eps
-			if step == cfg.Leapfrog-1 {
-				scale = eps / 2
-			}
-			for i := range mom {
-				mom[i] += scale * grad[i]
-			}
-		}
+		hmcLeapfrog(stProp, prior, thetaProp, pProp, grad, mom, eps, cfg.Leapfrog)
 		kin1 := 0.0
 		for i := range mom {
 			kin1 += mom[i] * mom[i] / 2
@@ -194,7 +166,7 @@ func RunHMCContext(ctx context.Context, ds *Dataset, prior Prior, cfg HMCConfig,
 		}
 		if logAlpha >= 0 || math.Log(rng.Float64()+1e-300) < logAlpha {
 			copy(theta, thetaProp)
-			st = stProp
+			st, stProp = stProp, st
 			logPost = logPostProp
 			chain.Accepted++
 		}
@@ -226,4 +198,51 @@ func RunHMCContext(ctx context.Context, ds *Dataset, prior Prior, cfg HMCConfig,
 		})
 	}
 	return chain, nil
+}
+
+// thetaToP maps a logit-space position onto the clamped probability
+// simplex coordinates the likelihood works in.
+//
+//lint:hotpath
+func thetaToP(theta, p []float64) {
+	for i, th := range theta {
+		p[i] = clampP(stats.Expit(th))
+	}
+}
+
+// hmcLeapfrog integrates one trajectory in place — half momentum step,
+// steps-1 full position/momentum steps, closing half momentum step —
+// leaving the proposal position in thetaProp/pProp/stProp and the final
+// momentum in mom. All buffers are caller-owned; the integrator
+// allocates nothing.
+//
+//lint:hotpath
+func hmcLeapfrog(stProp *likState, prior Prior, thetaProp, pProp, grad, mom []float64, eps float64, steps int) {
+	stProp.gradLogPostTheta(prior, grad)
+	for i := range mom {
+		mom[i] += eps / 2 * grad[i]
+	}
+	for step := 0; step < steps; step++ {
+		for i := range thetaProp {
+			thetaProp[i] += eps * mom[i]
+			// Keep θ in a numerically safe band; expit saturates
+			// beyond ±36 anyway.
+			if thetaProp[i] > 36 {
+				thetaProp[i] = 36
+			}
+			if thetaProp[i] < -36 {
+				thetaProp[i] = -36
+			}
+		}
+		thetaToP(thetaProp, pProp)
+		stProp.setP(pProp)
+		stProp.gradLogPostTheta(prior, grad)
+		scale := eps
+		if step == steps-1 {
+			scale = eps / 2
+		}
+		for i := range mom {
+			mom[i] += scale * grad[i]
+		}
+	}
 }

@@ -80,8 +80,20 @@ func (st *likState) logPosTerm(logQ float64) float64 {
 	return t
 }
 
+// copyFrom makes st an exact copy of src's mutable state. st and src
+// must share the same dataset and miss rate (the HMC sampler's two
+// swap states do by construction).
+//
+//lint:hotpath
+func (st *likState) copyFrom(src *likState) {
+	copy(st.p, src.p)
+	copy(st.logQ, src.logQ)
+}
+
 // setP replaces the whole probability vector and rebuilds the caches;
 // used by the HMC leapfrog, which moves all coordinates at once.
+//
+//lint:hotpath
 func (st *likState) setP(p []float64) {
 	for i := range p {
 		st.p[i] = clampP(p[i])
@@ -91,6 +103,8 @@ func (st *likState) setP(p []float64) {
 
 // recompute rebuilds the logQ cache from scratch (called initially and
 // periodically to cancel numerical drift).
+//
+//lint:hotpath
 func (st *likState) recompute() {
 	for j, path := range st.ds.paths {
 		s := 0.0
@@ -102,6 +116,8 @@ func (st *likState) recompute() {
 }
 
 // logLik returns the full data log-likelihood at the current state.
+//
+//lint:hotpath
 func (st *likState) logLik() float64 {
 	total := 0.0
 	for j, path := range st.ds.paths {
@@ -116,6 +132,8 @@ func (st *likState) logLik() float64 {
 
 // deltaFor returns the change in log-likelihood if node i moved from its
 // current value to pNew, without mutating state.
+//
+//lint:hotpath
 func (st *likState) deltaFor(i int, pNew float64) float64 {
 	pNew = clampP(pNew)
 	pOld := st.p[i]
@@ -133,6 +151,8 @@ func (st *likState) deltaFor(i int, pNew float64) float64 {
 }
 
 // apply commits a new value for node i, updating the caches.
+//
+//lint:hotpath
 func (st *likState) apply(i int, pNew float64) {
 	pNew = clampP(pNew)
 	dLogQ := math.Log1p(-pNew) - math.Log1p(-st.p[i])
@@ -185,6 +205,8 @@ func LinearLik(ds *Dataset, p []float64) float64 {
 //	∂/∂θ_i log prior+jac = a(1-p_i) - b·p_i
 //	negative path j ∋ i:  ∂/∂θ_i w_j log Q_j      = -w_j p_i
 //	positive path j ∋ i:  ∂/∂θ_i w_j log(1-Q_j)   =  w_j p_i Q_j/(1-Q_j)
+//
+//lint:hotpath
 func (st *likState) gradLogPostTheta(prior Prior, grad []float64) {
 	for i := range grad {
 		p := st.p[i]
@@ -221,6 +243,8 @@ func (st *likState) gradLogPostTheta(prior Prior, grad []float64) {
 // logPostTheta returns the log posterior density in θ space at the current
 // state: logLik + Σ_i [a·log p_i + b·log(1-p_i)] (Beta prior + Jacobian,
 // dropping the constant -log B(a,b)).
+//
+//lint:hotpath
 func (st *likState) logPostTheta(prior Prior) float64 {
 	lp := st.logLik()
 	for _, p := range st.p {

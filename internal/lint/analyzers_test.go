@@ -105,6 +105,27 @@ func TestWireDriftGolden(t *testing.T) {
 	checkGolden(t, "wiredrift", got)
 }
 
+func TestHotpathGolden(t *testing.T) {
+	got := runFixture(t, Hotpath(), "hotpath")
+	checkGolden(t, "hotpath", got)
+}
+
+func TestGoLeakGolden(t *testing.T) {
+	got := runFixture(t, GoLeak(), "goleak")
+	checkGolden(t, "goleak", got)
+}
+
+// TestTransitiveDeterminismGolden is the acceptance case for the
+// interprocedural determinism upgrade: a clock read reachable only
+// through a two-hop helper chain from the scoped package is flagged at
+// the boundary call site (with the chain in the message), while the
+// same chain behind a declaration-level observability allow — and
+// behind a justified call-site allow — stays silent.
+func TestTransitiveDeterminismGolden(t *testing.T) {
+	got := runFixture(t, Determinism("testdata/src/transdet/core"), "transdet/...")
+	checkGolden(t, "transdet", got)
+}
+
 // TestAllowMultiGolden exercises comma-separated directives: one
 // comment suppressing two analyzers at once, and per-analyzer
 // staleness reported at the directive's own column.

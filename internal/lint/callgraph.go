@@ -1,0 +1,388 @@
+// Module-wide call graph and function-summary fixpoint solver — the
+// interprocedural backbone shared by the determinism, hotpath and goleak
+// analyzers. Resolution is CHA-style over go/types, stdlib-only:
+//
+//   - Static calls (plain functions and concrete-receiver methods)
+//     resolve through Info.Uses. Calls into packages type-checked from
+//     export data produce *types.Func objects from a different type
+//     universe than the source-checked ones, so nodes are keyed by a
+//     stable symbol string (import path + receiver + name) rather than
+//     by object identity.
+//   - Interface method calls resolve by class-hierarchy analysis: every
+//     module method with the same name is a candidate callee. Matching
+//     types.Implements across the two type universes is unreliable
+//     (named types are not pointer-identical), so the match is by name —
+//     a sound over-approximation for taint-style facts.
+//   - go statements, defer statements and par.Group task funcs are plain
+//     calls for summary purposes; their launch discipline is goleak's
+//     business (see goleak.go).
+//
+// Function literals are attributed to their enclosing declared function:
+// a closure's facts are the decl's facts. Calls through function values
+// stay unresolved (no taint propagates) — acceptable because every
+// summary fact here also has a direct intraprocedural detector.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sync"
+)
+
+// funcNode is one module function with source, plus its resolved
+// outgoing calls.
+type funcNode struct {
+	sym     string // "because/internal/obs.Observer.Log"
+	pkg     *Package
+	decl    *ast.FuncDecl
+	obj     *types.Func
+	hotpath bool // carries a //lint:hotpath marker
+	calls   []callSite
+}
+
+// shortName renders the node for diagnostics: pkgname.Func or
+// pkgname.Type.Method.
+func (n *funcNode) shortName() string {
+	name := n.decl.Name.Name
+	if n.decl.Recv != nil && len(n.decl.Recv.List) > 0 {
+		if recv := recvTypeName(n.decl.Recv.List[0].Type); recv != "" {
+			name = recv + "." + name
+		}
+	}
+	return n.pkg.Name + "." + name
+}
+
+// callSite is one resolved call expression inside a funcNode's body
+// (including bodies of nested function literals).
+type callSite struct {
+	call    *ast.CallExpr
+	callees []*funcNode // module functions this call may reach
+}
+
+// callGraph indexes every function declared in the loaded targets.
+type callGraph struct {
+	nodes  []*funcNode            // deterministic: package, file, decl order
+	bySym  map[string]*funcNode   // symbol → node
+	byName map[string][]*funcNode // method name → concrete methods (CHA)
+}
+
+// HotpathDirective marks a function as allocation-free by contract: the
+// hotpath analyzer rejects any allocation on a path reachable from it.
+// Place it in the doc comment or on the declaration line.
+const HotpathDirective = "//lint:hotpath"
+
+// graphCache memoises one call graph per load (keyed by the first
+// package pointer — Load memoises the []*Package slice, so the pointer
+// identifies the load). ResetLoadCache clears it alongside the packages.
+var graphCache = struct {
+	sync.Mutex
+	m map[*Package]*callGraph
+}{m: map[*Package]*callGraph{}}
+
+func resetGraphCache() {
+	graphCache.Lock()
+	defer graphCache.Unlock()
+	graphCache.m = map[*Package]*callGraph{}
+}
+
+// graphFor returns the (memoised) call graph spanning pkgs.
+func graphFor(pkgs []*Package) *callGraph {
+	if len(pkgs) == 0 {
+		return &callGraph{bySym: map[string]*funcNode{}, byName: map[string][]*funcNode{}}
+	}
+	graphCache.Lock()
+	g, ok := graphCache.m[pkgs[0]]
+	graphCache.Unlock()
+	if ok {
+		return g
+	}
+	g = buildCallGraph(pkgs)
+	graphCache.Lock()
+	graphCache.m[pkgs[0]] = g
+	graphCache.Unlock()
+	return g
+}
+
+func buildCallGraph(pkgs []*Package) *callGraph {
+	g := &callGraph{
+		bySym:  map[string]*funcNode{},
+		byName: map[string][]*funcNode{},
+	}
+	// Pass 1: index every declared function.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			hotLines := hotpathLines(pkg, f)
+			for _, d := range f.Decls {
+				decl, ok := d.(*ast.FuncDecl)
+				if !ok || decl.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[decl.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				n := &funcNode{
+					sym:     funcSymbol(obj),
+					pkg:     pkg,
+					decl:    decl,
+					obj:     obj,
+					hotpath: declIsHotpath(pkg, decl, hotLines),
+				}
+				g.nodes = append(g.nodes, n)
+				g.bySym[n.sym] = n
+				if decl.Recv != nil {
+					g.byName[decl.Name.Name] = append(g.byName[decl.Name.Name], n)
+				}
+			}
+		}
+	}
+	// Pass 2: resolve call sites.
+	for _, n := range g.nodes {
+		n.calls = g.resolveCalls(n)
+	}
+	return g
+}
+
+// hotpathLines returns the set of lines in f carrying a //lint:hotpath
+// comment, so a same-line marker after the declaration header works.
+func hotpathLines(pkg *Package, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if isHotpathComment(c.Text) {
+				lines[pkg.Fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+func isHotpathComment(text string) bool {
+	if len(text) < len(HotpathDirective) || text[:len(HotpathDirective)] != HotpathDirective {
+		return false
+	}
+	rest := text[len(HotpathDirective):]
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t'
+}
+
+func declIsHotpath(pkg *Package, decl *ast.FuncDecl, hotLines map[int]bool) bool {
+	if decl.Doc != nil {
+		for _, c := range decl.Doc.List {
+			if isHotpathComment(c.Text) {
+				return true
+			}
+		}
+	}
+	return hotLines[pkg.Fset.Position(decl.Pos()).Line]
+}
+
+// funcSymbol builds the stable cross-universe key for fn:
+// "pkgpath.Name" for functions, "pkgpath.Recv.Name" for methods (the
+// receiver's named type, pointer-stripped).
+func funcSymbol(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		name := "?"
+		if named, ok := t.(*types.Named); ok {
+			name = named.Obj().Name()
+		}
+		if fn.Pkg() != nil {
+			return fn.Pkg().Path() + "." + name + "." + fn.Name()
+		}
+		return name + "." + fn.Name()
+	}
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// resolveCalls walks n's body (nested literals included) and resolves
+// every call expression to its possible module callees.
+func (g *callGraph) resolveCalls(n *funcNode) []callSite {
+	var sites []callSite
+	ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if callees := g.calleesOf(n.pkg, call); len(callees) > 0 {
+			sites = append(sites, callSite{call: call, callees: callees})
+		}
+		return true
+	})
+	return sites
+}
+
+// calleesOf resolves one call expression to module funcNodes. Calls to
+// functions without module source (stdlib, export-data-only) and calls
+// through plain function values resolve to nothing.
+func (g *callGraph) calleesOf(pkg *Package, call *ast.CallExpr) []*funcNode {
+	fn := calledFunc(pkg, call)
+	if fn == nil {
+		return nil
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+		// Interface dispatch: CHA over every module method of this name.
+		return g.byName[fn.Name()]
+	}
+	if n := g.bySym[funcSymbol(fn)]; n != nil {
+		return []*funcNode{n}
+	}
+	return nil
+}
+
+// calledFunc returns the *types.Func a call expression statically names,
+// or nil for builtins, conversions and function-value calls.
+func calledFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pkg.Info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// fact is one boolean function property propagated bottom-up over the
+// call graph.
+type fact uint8
+
+const (
+	factClock   fact = 1 << iota // reads the wall clock (time.Now & friends)
+	factRand                     // reaches math/rand
+	factAlloc                    // allocates (hotpath contract violations)
+	factCtxJoin                  // blocks on a ctx.Done() receive
+	factWGDone                   // calls (*sync.WaitGroup).Done
+)
+
+// evidence is one direct site justifying a fact: where, and what it is
+// ("time.Now", "map literal"). Call-chain evidence is reconstructed from
+// direct sites by explain.
+type evidence struct {
+	pos  token.Pos
+	desc string
+}
+
+// summaries holds the solved per-function facts for one analyzer's fact
+// domain over one call graph.
+type summaries struct {
+	g     *callGraph
+	facts map[*funcNode]fact
+	// direct holds the first direct evidence per (node, fact);
+	// call-chain evidence is reconstructed on demand by explain.
+	direct map[*funcNode]map[fact]*evidence
+}
+
+// solveSummaries computes, for every module function, the union of the
+// direct facts the collector reports and the facts of every resolvable
+// callee, iterating in deterministic node order until fixpoint (so
+// recursion and mutual recursion converge; facts only grow).
+func solveSummaries(g *callGraph, direct func(n *funcNode) (fact, map[fact]*evidence)) *summaries {
+	s := &summaries{
+		g:      g,
+		facts:  make(map[*funcNode]fact, len(g.nodes)),
+		direct: make(map[*funcNode]map[fact]*evidence, len(g.nodes)),
+	}
+	for _, n := range g.nodes {
+		f, ev := direct(n)
+		s.facts[n] = f
+		if len(ev) > 0 {
+			s.direct[n] = ev
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.nodes {
+			have := s.facts[n]
+			for _, site := range n.calls {
+				for _, callee := range site.callees {
+					if callee == n {
+						continue
+					}
+					if add := s.facts[callee] &^ have; add != 0 {
+						have |= add
+						changed = true
+					}
+				}
+			}
+			s.facts[n] = have
+		}
+	}
+	return s
+}
+
+// has reports whether n's summary carries f.
+func (s *summaries) has(n *funcNode, f fact) bool { return s.facts[n]&f != 0 }
+
+// explain renders the evidence chain for fact f starting at n:
+// "time.Now at file.go:12" for direct evidence, or
+// "via helper → inner: time.Now at file.go:12" through calls. The walk
+// follows the first call site (in source order) whose callee carries the
+// fact, with a cycle guard.
+func (s *summaries) explain(n *funcNode, f fact) string {
+	var hops []string
+	seen := map[*funcNode]bool{}
+	cur := n
+	for range s.g.nodes {
+		if seen[cur] {
+			break
+		}
+		seen[cur] = true
+		if ev := s.direct[cur][f]; ev != nil {
+			pos := cur.pkg.Fset.Position(ev.pos)
+			site := fmt.Sprintf("%s at %s:%d", ev.desc, shortFile(pos.Filename), pos.Line)
+			if len(hops) == 0 {
+				return site
+			}
+			return "via " + joinChain(hops) + ": " + site
+		}
+		next := s.nextHop(cur, f, seen)
+		if next == nil {
+			break
+		}
+		hops = append(hops, next.shortName())
+		cur = next
+	}
+	return "via an indirect call path"
+}
+
+// nextHop picks the first callee (source order) of cur that carries f
+// and is not already on the chain.
+func (s *summaries) nextHop(cur *funcNode, f fact, seen map[*funcNode]bool) *funcNode {
+	for _, site := range cur.calls {
+		for _, callee := range site.callees {
+			if !seen[callee] && s.has(callee, f) {
+				return callee
+			}
+		}
+	}
+	return nil
+}
+
+func joinChain(hops []string) string {
+	out := hops[0]
+	for _, h := range hops[1:] {
+		out += " → " + h
+	}
+	return out
+}
+
+// shortFile trims a path to its base name for compact chain evidence.
+func shortFile(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

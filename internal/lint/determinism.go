@@ -54,45 +54,146 @@ var wallClockFuncs = map[string]bool{
 // one of paths; defaults to DefaultDeterminismPaths). Sampling must go
 // through the seeded stats.RNG, and timing that exists only to feed
 // observability must be annotated //lint:allow determinism.
+//
+// The check is interprocedural: beyond the direct reads above, every
+// module function gets a "reaches the clock / reaches math/rand" summary
+// solved over the call graph, and a call from a result-affecting package
+// to a tainted helper anywhere in the module is flagged at the call site
+// — a time.Now laundered through one helper in an unlisted package no
+// longer escapes. An allow directive on the read's line exempts that
+// site from its function's summary; a directive on (or directly above) a
+// function declaration exempts the whole function's summary, the idiom
+// for observability-only helpers.
 func Determinism(paths ...string) *Analyzer {
 	if len(paths) == 0 {
 		paths = DefaultDeterminismPaths
 	}
 	a := &Analyzer{
 		Name: "determinism",
-		Doc:  "forbid wall-clock reads (time.Now, timers) and math/rand in result-affecting packages",
+		Doc:  "forbid wall-clock reads (time.Now, timers) and math/rand reachable from result-affecting packages",
 	}
-	a.Run = func(pass *Pass) {
-		if !pathMatches(pass.Pkg.ImportPath, paths) {
-			return
-		}
-		for _, f := range pass.Pkg.Files {
-			for _, imp := range f.Imports {
-				path, err := strconv.Unquote(imp.Path.Value)
-				if err != nil {
-					continue
-				}
-				if path == "math/rand" || path == "math/rand/v2" {
-					pass.Reportf(imp.Pos(), "import of %s in result-affecting package %s: use the seeded stats.RNG instead", path, pass.Pkg.ImportPath)
-				}
+	a.RunModule = func(pass *ModulePass) {
+		for _, pkg := range pass.Pkgs {
+			if pathMatches(pkg.ImportPath, paths) {
+				reportDirectDeterminism(pass, pkg)
 			}
-			ast.Inspect(f, func(n ast.Node) bool {
-				id, ok := n.(*ast.Ident)
-				if !ok || !wallClockFuncs[id.Name] {
-					return true
-				}
-				obj := pass.Pkg.Info.Uses[id]
-				if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
-					return true
-				}
-				fn, isFunc := obj.(*types.Func)
-				if !isFunc || fn.Type().(*types.Signature).Recv() != nil {
-					return true // methods like Time.After are pure
-				}
-				pass.Reportf(id.Pos(), "call to time.%s in result-affecting package %s: results must not depend on the wall clock (inject a clock, or annotate observability-only timing with //lint:allow determinism)", id.Name, pass.Pkg.ImportPath)
-				return true
-			})
 		}
+		reportTransitiveDeterminism(pass, paths)
 	}
 	return a
+}
+
+// reportDirectDeterminism flags math/rand imports and wall-clock reads
+// written directly in a result-affecting package.
+func reportDirectDeterminism(pass *ModulePass, pkg *Package) {
+	for _, f := range pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s in result-affecting package %s: use the seeded stats.RNG instead", path, pkg.ImportPath)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || !isWallClockUse(pkg, id) {
+				return true
+			}
+			pass.Reportf(id.Pos(), "call to time.%s in result-affecting package %s: results must not depend on the wall clock (inject a clock, or annotate observability-only timing with //lint:allow determinism)", id.Name, pkg.ImportPath)
+			return true
+		})
+	}
+}
+
+// isWallClockUse reports whether id resolves to a wall-clock-reading
+// time-package function (methods like Time.After are pure and excluded).
+func isWallClockUse(pkg *Package, id *ast.Ident) bool {
+	if !wallClockFuncs[id.Name] {
+		return false
+	}
+	obj := pkg.Info.Uses[id]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+		return false
+	}
+	fn, isFunc := obj.(*types.Func)
+	return isFunc && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// reportTransitiveDeterminism solves clock/rand summaries over the module
+// call graph and flags calls from result-affecting packages to tainted
+// helpers living outside them. Calls whose callee is itself in a
+// result-affecting package are skipped — the direct check owns those —
+// so each laundering boundary is reported exactly once.
+func reportTransitiveDeterminism(pass *ModulePass, paths []string) {
+	g := graphFor(pass.Pkgs)
+	sums := solveSummaries(g, determinismFacts)
+	for _, n := range g.nodes {
+		if !pathMatches(n.pkg.ImportPath, paths) {
+			continue
+		}
+		for _, site := range n.calls {
+			for _, callee := range site.callees {
+				if pathMatches(callee.pkg.ImportPath, paths) {
+					continue
+				}
+				var f fact
+				var what string
+				switch {
+				case sums.has(callee, factClock):
+					f, what = factClock, "the wall clock"
+				case sums.has(callee, factRand):
+					f, what = factRand, "math/rand"
+				default:
+					continue
+				}
+				pass.Reportf(site.call.Pos(), "call to %s in result-affecting package %s reaches %s (%s): results must not depend on it (fix the helper, or mark it //lint:allow determinism on its declaration if observability-only)", callee.shortName(), n.pkg.ImportPath, what, sums.explain(callee, f))
+				break
+			}
+		}
+	}
+}
+
+// determinismFacts is the direct-fact collector for the summary solver:
+// wall-clock and math/rand uses (references count — storing time.Now in
+// a struct field launders just as well as calling it). Site-level allow
+// directives exempt the read; a declaration-level directive exempts the
+// whole function.
+func determinismFacts(n *funcNode) (fact, map[fact]*evidence) {
+	if n.pkg.exemptFunc("determinism", n.decl) {
+		return 0, nil
+	}
+	var f fact
+	ev := map[fact]*evidence{}
+	ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+		id, ok := node.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := n.pkg.Info.Uses[id]
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		switch {
+		case isWallClockUse(n.pkg, id):
+			if n.pkg.exemptAt("determinism", id.Pos()) {
+				return true
+			}
+			if f&factClock == 0 {
+				ev[factClock] = &evidence{pos: id.Pos(), desc: "time." + id.Name}
+			}
+			f |= factClock
+		case obj.Pkg().Path() == "math/rand" || obj.Pkg().Path() == "math/rand/v2":
+			if n.pkg.exemptAt("determinism", id.Pos()) {
+				return true
+			}
+			if f&factRand == 0 {
+				ev[factRand] = &evidence{pos: id.Pos(), desc: obj.Pkg().Path() + "." + id.Name}
+			}
+			f |= factRand
+		}
+		return true
+	})
+	return f, ev
 }

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseAllowDirective fuzzes the //lint:allow comment parser. The
+// seeds are the directive shapes that actually appear in this tree:
+// single analyzer, comma-separated lists, reasons with punctuation, and
+// the near-miss comments the parser must reject.
+func FuzzParseAllowDirective(f *testing.F) {
+	for _, seed := range []string{
+		"//lint:allow determinism",
+		"//lint:allow determinism observability-only timing helper",
+		"//lint:allow ctxflow,errflow the context is the request root",
+		"//lint:allow goleak joined by httpSrv.Shutdown in Server.Shutdown",
+		"//lint:allow hotpath scratch buffer amortised by the caller",
+		"//lint:allow maporder,errflow fixture suppression case",
+		"//lint:allow ,,, stray commas",
+		"//lint:allow ",
+		"//lint:allow\tdeterminism tab separated",
+		"//lint:hotpath",
+		"// an ordinary comment",
+		"//lint:allowdeterminism missing space",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		names := parseAllowDirective(text)
+		rest, isDirective := strings.CutPrefix(text, AllowDirective)
+		if !isDirective || len(strings.Fields(rest)) == 0 {
+			if names != nil {
+				t.Fatalf("parseAllowDirective(%q) = %v for a non-directive, want nil", text, names)
+			}
+			return
+		}
+		list := strings.Fields(rest)[0]
+		for _, name := range names {
+			if name == "" {
+				t.Fatalf("parseAllowDirective(%q) returned an empty analyzer name", text)
+			}
+			if strings.ContainsAny(name, ", \t\n") {
+				t.Fatalf("parseAllowDirective(%q) returned unsplit name %q", text, name)
+			}
+			if !strings.Contains(list, name) {
+				t.Fatalf("parseAllowDirective(%q) invented name %q not in list %q", text, name, list)
+			}
+		}
+		again := parseAllowDirective(text)
+		if len(again) != len(names) {
+			t.Fatalf("parseAllowDirective(%q) is non-deterministic: %v then %v", text, names, again)
+		}
+		for i := range names {
+			if again[i] != names[i] {
+				t.Fatalf("parseAllowDirective(%q) is non-deterministic: %v then %v", text, names, again)
+			}
+		}
+	})
+}

@@ -123,6 +123,30 @@ type allow struct {
 	used    bool
 }
 
+// parseAllowDirective extracts the analyzer names from one comment's
+// text ("//lint:allow ctxflow,errflow reason" → ["ctxflow", "errflow"]).
+// It returns nil when the comment is not an allow directive or names no
+// analyzer. Fuzzed by FuzzParseAllowDirective.
+func parseAllowDirective(text string) []string {
+	rest, ok := strings.CutPrefix(text, AllowDirective)
+	if !ok {
+		return nil
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil
+	}
+	var names []string
+	for _, name := range strings.Split(fields[0], ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		names = append(names, name)
+	}
+	return names
+}
+
 // collectAllows parses every //lint:allow directive in the package.
 func collectAllows(pkg *Package) []*allow {
 	var out []*allow
@@ -130,12 +154,8 @@ func collectAllows(pkg *Package) []*allow {
 		extents := simpleStmtExtents(pkg, f)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, AllowDirective)
-				if !ok {
-					continue
-				}
-				fields := strings.Fields(rest)
-				if len(fields) == 0 {
+				names := parseAllowDirective(c.Text)
+				if len(names) == 0 {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
@@ -143,17 +163,64 @@ func collectAllows(pkg *Package) []*allow {
 				if end, ok := extents[pos.Line+1]; ok && end > endLine {
 					endLine = end
 				}
-				for _, name := range strings.Split(fields[0], ",") {
-					name = strings.TrimSpace(name)
-					if name == "" {
-						continue
-					}
+				for _, name := range names {
 					out = append(out, &allow{analyzer: name, file: pos.Filename, line: pos.Line, col: pos.Column, endLine: endLine})
 				}
 			}
 		}
 	}
 	return out
+}
+
+// allowList returns the package's parsed //lint:allow directives, parsing
+// them once and caching on the Package (the same objects back every Run,
+// so exemption marks and suppression marks agree; Run resets the used
+// flags before analyzers execute).
+func (p *Package) allowList() []*allow {
+	if !p.allowsParsed {
+		p.allows = collectAllows(p)
+		p.allowsParsed = true
+	}
+	return p.allows
+}
+
+// exemptAt reports whether an allow directive for analyzer covers pos —
+// same line, line directly above, or a directive above a multi-line
+// simple statement containing pos. A match marks the directive used, so
+// summary-level consumption keeps the stale-directive check honest.
+func (p *Package) exemptAt(analyzer string, pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	covered := false
+	for _, a := range p.allowList() {
+		if a.analyzer != analyzer || a.file != position.Filename {
+			continue
+		}
+		if a.line == position.Line || (position.Line > a.line && position.Line <= a.endLine) {
+			a.used = true
+			covered = true
+		}
+	}
+	return covered
+}
+
+// exemptFunc reports whether a summary-level allow directive for analyzer
+// covers the whole function: a //lint:allow comment on the declaration
+// line or directly above it (conventionally the last doc-comment line).
+// Matching directives are marked used.
+func (p *Package) exemptFunc(analyzer string, decl *ast.FuncDecl) bool {
+	line := p.Fset.Position(decl.Pos()).Line
+	file := p.Fset.Position(decl.Pos()).Filename
+	covered := false
+	for _, a := range p.allowList() {
+		if a.analyzer != analyzer || a.file != file {
+			continue
+		}
+		if a.line == line || a.line == line-1 {
+			a.used = true
+			covered = true
+		}
+	}
+	return covered
 }
 
 // simpleStmtExtents maps the start line of every simple (non-nesting)

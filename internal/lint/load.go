@@ -14,6 +14,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -33,6 +34,12 @@ type Package struct {
 	// every analyzer in a run shares one CFG and one reaching-definitions
 	// pass per function.
 	flows map[ast.Node]*flow
+
+	// allows caches the parsed //lint:allow directives (see allowList);
+	// analyzers consume them as summary exemptions and the driver as
+	// call-site suppressions, against the same used-tracking.
+	allows       []*allow
+	allowsParsed bool
 }
 
 // listedPackage is the subset of `go list -json` output the loader needs.
@@ -60,11 +67,13 @@ var loadCache = struct {
 	m map[string][]*Package
 }{m: map[string][]*Package{}}
 
-// ResetLoadCache forgets every memoised Load result.
+// ResetLoadCache forgets every memoised Load result (and the call graphs
+// built over them).
 func ResetLoadCache() {
 	loadCache.Lock()
-	defer loadCache.Unlock()
 	loadCache.m = map[string][]*Package{}
+	loadCache.Unlock()
+	resetGraphCache()
 }
 
 // Load resolves patterns (e.g. "./...") relative to dir, parses every
@@ -120,17 +129,47 @@ func load(dir string, patterns ...string) ([]*Package, error) {
 	}
 	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
 
+	// Targets type-check in parallel: every import resolves from export
+	// data rather than from other targets, so the packages are mutually
+	// independent. The FileSet is documented concurrency-safe; the gc
+	// importer's package cache is not, hence the locked wrapper.
 	fset := token.NewFileSet()
-	imp := newExportImporter(fset, exports, importMap)
-	pkgs := make([]*Package, 0, len(targets))
-	for _, t := range targets {
-		pkg, err := typeCheck(fset, imp, t)
+	imp := &lockedImporter{imp: newExportImporter(fset, exports, importMap)}
+	pkgs := make([]*Package, len(targets))
+	errs := make([]error, len(targets))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, t := range targets {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, t *listedPackage) {
+			defer func() {
+				wg.Done()
+				<-sem
+			}()
+			pkgs[i], errs[i] = typeCheck(fset, imp, t)
+		}(i, t)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
+}
+
+// lockedImporter serialises access to a types.Importer so parallel
+// type-checking goroutines share one consistent imported-package universe.
+type lockedImporter struct {
+	mu  sync.Mutex
+	imp types.Importer
+}
+
+func (l *lockedImporter) Import(path string) (*types.Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.imp.Import(path)
 }
 
 // goList shells out to `go list -export -deps -json` and decodes the
@@ -173,7 +212,10 @@ func goList(dir string, patterns []string) ([]listedPackage, error) {
 func typeCheck(fset *token.FileSet, imp types.Importer, t *listedPackage) (*Package, error) {
 	files := make([]*ast.File, 0, len(t.GoFiles))
 	for _, name := range t.GoFiles {
-		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+		// Object resolution is the deprecated ast.Object layer; every
+		// analyzer resolves identifiers through go/types Info instead, so
+		// skipping it cuts parse time and allocations for free.
+		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, fmt.Errorf("lint: %w", err)
 		}

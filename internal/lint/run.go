@@ -26,6 +26,8 @@ func All() []*Analyzer {
 		CtxFlow(),
 		ErrFlow(),
 		WireDrift(),
+		Hotpath(),
+		GoLeak(),
 	}
 }
 
@@ -47,8 +49,17 @@ func Run(dir string, patterns []string, opts Options) ([]Diagnostic, error) {
 	for _, a := range analyzers {
 		ran[a.Name] = true
 	}
-	var all []Diagnostic
+	// Directive used-marks are shared between analyzers (summary-level
+	// exemptions) and the suppression pass below; reset them up front so
+	// repeated Runs over cached packages start from a clean slate.
 	var allows []*allow
+	for _, pkg := range pkgs {
+		allows = append(allows, pkg.allowList()...)
+	}
+	for _, a := range allows {
+		a.used = false
+	}
+	var all []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			if a.Run == nil {
@@ -57,7 +68,6 @@ func Run(dir string, patterns []string, opts Options) ([]Diagnostic, error) {
 			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &all}
 			a.Run(pass)
 		}
-		allows = append(allows, collectAllows(pkg)...)
 	}
 	for _, a := range analyzers {
 		if a.RunModule == nil {

@@ -96,3 +96,65 @@ func InfiniteFor(ch chan int) int {
 	_ = x
 	return x
 }
+
+// DeferLoop: a defer inside the loop body is a plain CFG node; the loop
+// may run zero times, so the initial def and the body def both reach.
+func DeferLoop(n int) int {
+	x := 0
+	for i := 0; i < n; i++ {
+		defer func() {}()
+		x = i
+	}
+	return x
+}
+
+// SelectDefault: a select with a default clause never blocks, and every
+// clause assigns x, so the initial def is killed on all paths — exactly
+// the two clause defs reach.
+func SelectDefault(ch chan int) int {
+	x := 0
+	select {
+	case v := <-ch:
+		x = v
+	default:
+		x = 1
+	}
+	return x
+}
+
+// EmptySelect: select{} blocks forever, so the trailing return is
+// unreachable while the early return stays live.
+func EmptySelect(c bool) int {
+	x := 1
+	if c {
+		return x
+	}
+	select {}
+	return 0
+}
+
+// GotoLoop: a labeled goto back-edge forms a loop the CFG must close;
+// the initial def and the loop-body def both reach the return.
+func GotoLoop(n int) int {
+	x := 0
+	i := 0
+loop:
+	if i < n {
+		x = i
+		i++
+		goto loop
+	}
+	return x
+}
+
+// MethodGo: a method value flowing through a variable into a go target;
+// the engine reports the single method-value definition at the launch.
+type T struct{ done chan struct{} }
+
+func (t *T) run() { close(t.done) }
+
+func MethodGo(t *T) {
+	f := t.run
+	go f()
+	<-t.done
+}

@@ -1,0 +1,96 @@
+// Package hotpath seeds every allocation class the hotpath analyzer
+// flags inside //lint:hotpath functions, plus the fixed forms and
+// justified allows that must stay silent.
+package hotpath
+
+import "fmt"
+
+// Sum is hot and allocation-free: silent (false-positive guard; struct
+// literals and plain arithmetic never allocate).
+//
+//lint:hotpath
+func Sum(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// MapLit allocates a map literal.
+//
+//lint:hotpath
+func MapLit() map[string]int { return map[string]int{"a": 1} }
+
+// SliceGrow may grow past capacity.
+//
+//lint:hotpath
+func SliceGrow(xs []int, v int) []int { return append(xs, v) }
+
+// Closure allocates a closure literal.
+//
+//lint:hotpath
+func Closure() func() int {
+	n := 0
+	return func() int { n++; return n }
+}
+
+// Boxing calls fmt (flagged) and boxes its float argument (flagged).
+//
+//lint:hotpath
+func Boxing(v float64) string { return fmt.Sprint(v) }
+
+// Boxed passes a concrete float64 to an interface parameter: flagged at
+// the argument. Passing a pointer is free and stays silent.
+//
+//lint:hotpath
+func Boxed(v float64, p *int) {
+	sink(v)
+	sink(p)
+}
+
+func sink(any) {}
+
+// Deferred pays defer overhead on the hot path.
+//
+//lint:hotpath
+func Deferred(f func()) { defer f() }
+
+// Laundered allocates one call away: flagged at the call site with the
+// helper's allocation as evidence.
+//
+//lint:hotpath
+func Laundered() int { return helper() }
+
+// TwoHops allocates two calls away: the chain shows in the message.
+//
+//lint:hotpath
+func TwoHops() int { return middle() }
+
+func middle() int { return helper() }
+
+func helper() int {
+	m := make([]int, 8)
+	return len(m)
+}
+
+// Allowed allocates but carries a justified site-level allow: silent.
+//
+//lint:hotpath
+func Allowed() []int {
+	return make([]int, 4) //lint:allow hotpath fixture suppression case
+}
+
+// ColdCall calls a helper whose declaration-level allow zeroes its
+// summary: silent.
+//
+//lint:hotpath
+func ColdCall() int { return coldHelper() }
+
+// coldHelper allocates, but the declaration-level allow marks the whole
+// function exempt from summaries.
+//
+//lint:allow hotpath scratch buffer amortised by the caller
+func coldHelper() int {
+	return len(make([]int, 1))
+}

@@ -1,0 +1,22 @@
+// Package core stands in for a result-affecting package: the transdet
+// golden test scopes the determinism analyzer to it. It reads no clock
+// directly — every violation here is reachable only through helpers.
+package core
+
+import "because/internal/lint/testdata/src/transdet/helpers"
+
+// Infer reaches time.Now through helpers.TwoHop → inner: flagged at
+// this call site, with the chain in the message.
+func Infer() int64 { return helpers.TwoHop() }
+
+// Fine calls a clean helper: silent (false-positive guard).
+func Fine() int64 { return helpers.Seeded() }
+
+// Trace calls the annotated observability helper: silent, because the
+// declaration-level allow zeroes the helper's summary.
+func Trace() int64 { return helpers.Observability() }
+
+// Allowed launders the clock but carries a justified call-site allow.
+func Allowed() int64 {
+	return helpers.TwoHop() //lint:allow determinism fixture suppression case
+}

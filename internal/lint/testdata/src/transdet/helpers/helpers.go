@@ -1,0 +1,22 @@
+// Package helpers is the unlisted utility package of the transdet
+// fixture: nothing here is scoped by the determinism analyzer, so every
+// clock read below escapes the intraprocedural check — the laundering
+// hole the interprocedural summaries close.
+package helpers
+
+import "time"
+
+// TwoHop launders a wall-clock read through a two-call chain.
+func TwoHop() int64 { return inner() }
+
+func inner() int64 { return time.Now().UnixNano() }
+
+// Seeded is clean: no clock, no rand, flagged nowhere.
+func Seeded() int64 { return 42 }
+
+// Observability reads the clock but is exempt at the summary level: the
+// declaration-level allow below marks the whole function
+// observability-only, so callers in scoped packages stay silent.
+//
+//lint:allow determinism observability-only timing helper
+func Observability() int64 { return time.Now().UnixNano() }

@@ -37,6 +37,9 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 		lis: lis,
 		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
 	}
+	// The accept loop is owned by the http.Server: Close makes Serve
+	// return ErrServerClosed, so the join lives behind the stdlib API.
+	//lint:allow goleak joined by srv.Close in Server.Close
 	go s.srv.Serve(lis) //nolint:errcheck // Serve returns ErrServerClosed on Close
 	return s, nil
 }

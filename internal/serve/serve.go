@@ -194,6 +194,10 @@ func (s *Server) Start(addr string) (string, error) {
 	}
 	s.lis = lis
 	s.httpSrv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	// The accept loop is owned by the http.Server: Shutdown (below) makes
+	// Serve return ErrServerClosed and waits for in-flight requests, so
+	// the goroutine's join lives behind the stdlib API.
+	//lint:allow goleak joined by httpSrv.Shutdown in Server.Shutdown
 	go s.httpSrv.Serve(lis) //nolint:errcheck // Serve returns ErrServerClosed on Shutdown
 	return lis.Addr().String(), nil
 }

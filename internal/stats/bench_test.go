@@ -1,0 +1,31 @@
+package stats
+
+import "testing"
+
+var benchSinkF float64
+
+// BenchmarkPermInto pins the allocation-free permutation used by the MH
+// sweep kernel: the caller owns the buffer, so allocs/op must be zero.
+func BenchmarkPermInto(b *testing.B) {
+	r := NewRNG(1)
+	p := make([]int, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.PermInto(p)
+	}
+}
+
+// BenchmarkTruncNormalSample pins the proposal draw on the MH hot path
+// (//lint:hotpath): rejection sampling over value types, zero allocs/op.
+func BenchmarkTruncNormalSample(b *testing.B) {
+	r := NewRNG(1)
+	d := TruncNormal{Mu: 0.4, Sigma: 0.15, Lo: 0, Hi: 1}
+	s := 0.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s += d.Sample(r)
+	}
+	benchSinkF = s
+}

@@ -142,6 +142,8 @@ type TruncNormal struct {
 
 // Sample draws by rejection; for the narrow proposals used here the
 // acceptance rate is high so rejection is cheaper than inverse-CDF.
+//
+//lint:hotpath
 func (t TruncNormal) Sample(rng *RNG) float64 {
 	for i := 0; i < 1024; i++ {
 		x := t.Mu + t.Sigma*rng.Norm()
@@ -154,6 +156,8 @@ func (t TruncNormal) Sample(rng *RNG) float64 {
 }
 
 // LogPDF is the truncated-normal log density including the normalising mass.
+//
+//lint:hotpath
 func (t TruncNormal) LogPDF(x float64) float64 {
 	if x < t.Lo || x > t.Hi {
 		return math.Inf(-1)
@@ -174,6 +178,8 @@ func normCDF(z float64) float64 { return 0.5 * math.Erfc(-z/math.Sqrt2) }
 func Logit(p float64) float64 { return math.Log(p / (1 - p)) }
 
 // Expit is the inverse of Logit (the logistic function).
+//
+//lint:hotpath
 func Expit(x float64) float64 {
 	// Numerically stable for large |x|.
 	if x >= 0 {

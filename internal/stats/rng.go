@@ -87,6 +87,8 @@ func (r *RNG) Float64() float64 {
 }
 
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
+//
+//lint:hotpath
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("stats: Intn with non-positive n")
@@ -119,12 +121,21 @@ func mul64(a, b uint64) (hi, lo uint64) {
 // Perm returns a pseudo-random permutation of [0, n).
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)
+	r.PermInto(p)
+	return p
+}
+
+// PermInto fills p with a pseudo-random permutation of [0, len(p)),
+// drawing exactly the values Perm(len(p)) would — the allocation-free
+// form the samplers use with a reusable buffer (inside-out Fisher–Yates).
+//
+//lint:hotpath
+func (r *RNG) PermInto(p []int) {
 	for i := range p {
 		j := r.Intn(i + 1)
 		p[i] = p[j]
 		p[j] = i
 	}
-	return p
 }
 
 // Shuffle pseudo-randomizes the order of n elements using swap.
@@ -137,6 +148,8 @@ func (r *RNG) Shuffle(n int, swap func(i, j int)) {
 
 // Norm returns a standard normal variate (Box–Muller, polar form is avoided
 // to keep the consumption of random bits per call constant).
+//
+//lint:hotpath
 func (r *RNG) Norm() float64 {
 	// Box–Muller; discard the second variate so every call consumes exactly
 	// two uniforms, keeping downstream sequences alignment-stable when code

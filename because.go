@@ -44,6 +44,7 @@ import (
 	"sort"
 
 	"because/internal/bgp"
+	"because/internal/churn"
 	"because/internal/core"
 	"because/internal/obs"
 )
@@ -84,6 +85,24 @@ func (e *ValidationError) Error() string {
 
 // Unwrap makes every validation failure match ErrInvalidOptions.
 func (e *ValidationError) Unwrap() error { return ErrInvalidOptions }
+
+// Observation-model names accepted by Options.Model. Each selects a
+// likelihood interpretation of the binary path observations (an
+// internal core.ObservationModel implementation); the resolved name is
+// carried on Result and ASReport and keyed into becaused's result cache.
+const (
+	// ModelRFD is the default: the paper's § 3.1 beacon tomography
+	// likelihood, optionally under the § 7.2 MissRate error model.
+	ModelRFD = "rfd"
+	// ModelChurn is binary path-change tomography (per "A Churn for the
+	// Better"): the same noisy-OR core with an explicit background-churn
+	// probability (ChurnRate) absorbing instability that no modeled AS
+	// causes. MissRate composes with it.
+	ModelChurn = "churn"
+)
+
+// ModelNames lists the accepted Options.Model values, in wire spelling.
+func ModelNames() []string { return []string{ModelRFD, ModelChurn} }
 
 // ASN is an autonomous system number.
 type ASN uint32
@@ -152,8 +171,16 @@ type Options struct {
 	// MissRate, when positive, switches the likelihood to the paper's
 	// § 7.2 measurement-error model: a truly-positive path is recorded
 	// negative with this probability. Use it when the labeling stage is
-	// known to lose signatures.
+	// known to lose signatures. It composes with every model.
 	MissRate float64
+	// Model selects the observation model ("" and ModelRFD are the
+	// default likelihood; ModelChurn the path-change model). Unknown
+	// names fail validation with a *ValidationError on field "model".
+	Model string
+	// ChurnRate is the churn model's background rate: the probability
+	// that a path churns for reasons unrelated to any modeled AS. Only
+	// meaningful — and only accepted — with Model == ModelChurn.
+	ChurnRate float64
 
 	// Obs attaches an observability context — metrics registry plus
 	// structured logger — threaded through every inference stage. The
@@ -234,10 +261,39 @@ func (o Options) Validate() error {
 	if o.MissRate < 0 || o.MissRate >= 1 {
 		return &ValidationError{Field: "miss_rate", Reason: "must be in [0, 1)"}
 	}
+	switch o.Model {
+	case "", ModelRFD, ModelChurn:
+	default:
+		return &ValidationError{Field: "model", Reason: fmt.Sprintf("unknown model %q (want rfd or churn)", o.Model)}
+	}
+	if o.ChurnRate < 0 || o.ChurnRate >= 1 {
+		return &ValidationError{Field: "churn_rate", Reason: "must be in [0, 1)"}
+	}
+	if o.ChurnRate > 0 && o.Model != ModelChurn {
+		return &ValidationError{Field: "churn_rate", Reason: `only meaningful with model "churn"`}
+	}
 	if o.ProgressEvery < 0 {
 		return &ValidationError{Field: "progress_every", Reason: "must be non-negative"}
 	}
 	return nil
+}
+
+// ResolvedModel returns the effective observation model name (ModelRFD
+// unless another model is stated). It does not validate.
+func (o Options) ResolvedModel() string {
+	if o.Model == "" {
+		return ModelRFD
+	}
+	return o.Model
+}
+
+// observationModel maps the validated options onto the internal model
+// implementation the samplers draw against.
+func (o Options) observationModel() core.ObservationModel {
+	if o.ResolvedModel() == ModelChurn {
+		return churn.Model{BackgroundRate: o.ChurnRate, MissRate: o.MissRate}
+	}
+	return core.RFDModel{MissRate: o.MissRate}
 }
 
 // Category is the five-level certainty scale of the paper's Table 1.
@@ -259,6 +315,9 @@ func (c Category) Positive() bool { return c >= CategoryLikely }
 // ASReport is the inference outcome for one AS.
 type ASReport struct {
 	AS ASN
+	// Model names the observation model the report was inferred under
+	// (ModelRFD or ModelChurn).
+	Model string
 	// Mean is the posterior mean of the AS's proportion p.
 	Mean float64
 	// CredibleLow and CredibleHigh bound the 95% highest-posterior-density
@@ -286,6 +345,7 @@ func (r ASReport) MarshalJSON() ([]byte, error) {
 	type wire struct {
 		SchemaVersion int      `json:"schema_version"`
 		AS            ASN      `json:"as"`
+		Model         string   `json:"model,omitempty"`
 		Mean          float64  `json:"mean"`
 		CredibleLow   float64  `json:"credible_low"`
 		CredibleHigh  float64  `json:"credible_high"`
@@ -298,7 +358,8 @@ func (r ASReport) MarshalJSON() ([]byte, error) {
 	}
 	w := wire{
 		SchemaVersion: SchemaVersion,
-		AS:            r.AS, Mean: r.Mean, CredibleLow: r.CredibleLow, CredibleHigh: r.CredibleHigh,
+		AS:            r.AS, Model: r.Model,
+		Mean: r.Mean, CredibleLow: r.CredibleLow, CredibleHigh: r.CredibleHigh,
 		Certainty: r.Certainty, Category: r.Category, Pinpointed: r.Pinpointed,
 		PositivePaths: r.PositivePaths, NegativePaths: r.NegativePaths,
 	}
@@ -310,6 +371,9 @@ func (r ASReport) MarshalJSON() ([]byte, error) {
 
 // Result is a complete inference outcome.
 type Result struct {
+	// Model names the observation model that produced the result (ModelRFD
+	// or ModelChurn — the resolved name, never "").
+	Model string
 	// Reports lists every AS in ascending ASN order.
 	Reports []ASReport
 	// MHAcceptance and HMCAcceptance are the samplers' Metropolis
@@ -329,6 +393,7 @@ type Result struct {
 func (r *Result) MarshalJSON() ([]byte, error) {
 	type wire struct {
 		SchemaVersion  int        `json:"schema_version"`
+		Model          string     `json:"model,omitempty"`
 		Reports        []ASReport `json:"reports"`
 		MHAcceptance   float64    `json:"mh_acceptance"`
 		HMCAcceptance  float64    `json:"hmc_acceptance"`
@@ -340,6 +405,7 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 	}
 	return json.Marshal(wire{
 		SchemaVersion: SchemaVersion,
+		Model:         r.Model,
 		Reports:       reports,
 		MHAcceptance:  r.MHAcceptance, HMCAcceptance: r.HMCAcceptance,
 		HMCDivergences: r.HMCDivergences,
@@ -444,6 +510,7 @@ func InferContext(ctx context.Context, observations []PathObservation, opts Opti
 		HDPIMass:          opts.HDPIMass,
 		PinpointThreshold: opts.PinpointThreshold,
 		MissRate:          opts.MissRate,
+		Model:             opts.observationModel(),
 		Chains:            opts.Chains,
 		Workers:           opts.Workers,
 		DisableMH:         opts.DisableMH,
@@ -478,10 +545,11 @@ func InferContext(ctx context.Context, observations []PathObservation, opts Opti
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{byAS: make(map[ASN]*ASReport, len(res.Summaries))}
+	out := &Result{Model: res.Model, byAS: make(map[ASN]*ASReport, len(res.Summaries))}
 	for _, s := range res.Summaries {
 		out.Reports = append(out.Reports, ASReport{
 			AS:            ASN(s.ASN),
+			Model:         res.Model,
 			Mean:          s.Mean,
 			CredibleLow:   s.HDPI.Lo,
 			CredibleHigh:  s.HDPI.Hi,

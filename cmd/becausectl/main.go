@@ -12,6 +12,7 @@
 //	becausectl [-in paths.json] [-seed 0] [-prior sparse|uniform|centered]
 //	           [-flagged-only] [-mh-sweeps N] [-hmc-iters N]
 //	           [-chains N] [-workers N] [-miss-rate P]
+//	           [-model rfd|churn] [-churn-rate P]
 //	           [-metrics-addr :8080] [-log-level info] [-progress]
 //	           [-trace-out trace.json] [-remote http://127.0.0.1:8642]
 //
@@ -20,6 +21,12 @@
 // -workers runs the chains concurrently on that many goroutines (0 = all
 // cores). The output is bit-identical at every worker count; the flag only
 // changes the wall-clock.
+//
+// -model selects the observation model the samplers draw against: "rfd"
+// (default) reads the positives as RFD signatures; "churn" reads them as
+// binary path-change observations and accepts -churn-rate, the
+// background probability that a path churns with no responsible AS on it.
+// Both models compose with -miss-rate.
 //
 // Observability: -metrics-addr serves Prometheus metrics on /metrics (and
 // pprof on /debug/pprof/) for the duration of the run; -log-level enables
@@ -87,6 +94,8 @@ type options struct {
 	chains      int
 	workers     int
 	missRate    float64
+	model       string
+	churnRate   float64
 	progress    bool
 	metricsAddr string
 	logLevel    string
@@ -107,6 +116,8 @@ func main() {
 	flag.IntVar(&o.chains, "chains", 1, "independent MH chains; 2+ adds R-hat diagnostics")
 	flag.IntVar(&o.workers, "workers", 0, "chains run concurrently on this many workers (0 = all cores, 1 = sequential); results are identical at any setting")
 	flag.Float64Var(&o.missRate, "miss-rate", 0, "measurement-error rate for the § 7.2 likelihood (0 = off)")
+	flag.StringVar(&o.model, "model", "", "observation model: rfd (default) or churn")
+	flag.Float64Var(&o.churnRate, "churn-rate", 0, "background path-change rate for the churn model")
 	flag.BoolVar(&o.progress, "progress", false, "render live sampler progress on stderr")
 	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve Prometheus /metrics and pprof on this address (e.g. :8080)")
 	flag.StringVar(&o.logLevel, "log-level", "", "structured log level on stderr: debug, info, warn, error (default: off)")
@@ -179,9 +190,11 @@ func run(o options, observer *obs.Observer, stdout io.Writer) error {
 		Seed:     o.seed,
 		MHSweeps: o.mhSweeps, HMCIterations: o.hmcIters,
 		Chains:   o.chains,
-		Workers:  o.workers,
-		MissRate: o.missRate,
-		Obs:      observer,
+		Workers:   o.workers,
+		MissRate:  o.missRate,
+		Model:     o.model,
+		ChurnRate: o.churnRate,
+		Obs:       observer,
 	}
 	switch o.prior {
 	case "sparse":

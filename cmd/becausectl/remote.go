@@ -33,6 +33,8 @@ type remoteLocalOptions struct {
 	HMCIterations int     `json:"hmc_iterations,omitempty"`
 	Chains        int     `json:"chains,omitempty"`
 	MissRate      float64 `json:"miss_rate,omitempty"`
+	Model         string  `json:"model,omitempty"`
+	ChurnRate     float64 `json:"churn_rate,omitempty"`
 }
 
 // remoteReport mirrors because.ASReport's wire form for decoding.
@@ -51,6 +53,7 @@ type remoteReport struct {
 
 // remoteResult mirrors because.Result's wire form for decoding.
 type remoteResult struct {
+	Model          string         `json:"model"`
 	Reports        []remoteReport `json:"reports"`
 	MHAcceptance   float64        `json:"mh_acceptance"`
 	HMCAcceptance  float64        `json:"hmc_acceptance"`
@@ -66,6 +69,7 @@ func runRemote(o options, records []record, stdout io.Writer) error {
 			Seed: o.seed, Prior: o.prior,
 			MHSweeps: o.mhSweeps, HMCIterations: o.hmcIters,
 			Chains: o.chains, MissRate: o.missRate,
+			Model: o.model, ChurnRate: o.churnRate,
 		},
 	})
 	if err != nil {
@@ -175,6 +179,7 @@ func decodeRemoteResult(raw json.RawMessage) (*because.Result, error) {
 		return nil, fmt.Errorf("decoding remote result: %w", err)
 	}
 	res := &because.Result{
+		Model:          w.Model,
 		Reports:        make([]because.ASReport, len(w.Reports)),
 		MHAcceptance:   w.MHAcceptance,
 		HMCAcceptance:  w.HMCAcceptance,
@@ -186,7 +191,7 @@ func decodeRemoteResult(raw json.RawMessage) (*because.Result, error) {
 			rhat = *rep.RHat
 		}
 		res.Reports[i] = because.ASReport{
-			AS: rep.AS, Mean: rep.Mean,
+			AS: rep.AS, Model: w.Model, Mean: rep.Mean,
 			CredibleLow: rep.CredibleLow, CredibleHigh: rep.CredibleHigh,
 			Certainty: rep.Certainty, Category: rep.Category, Pinpointed: rep.Pinpointed,
 			PositivePaths: rep.PositivePaths, NegativePaths: rep.NegativePaths,

@@ -166,8 +166,14 @@ func scenarioRun(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 	} else {
+		// The model tag rides along only when it isn't the default, so
+		// existing rfd-scenario output stays byte-stable.
+		workload := out.Workload
+		if out.Model != "" && out.Model != because.ModelRFD {
+			workload += " model=" + out.Model
+		}
 		fmt.Fprintf(stdout, "scenario %s (%s): planted=%d detectable=%d flagged=%d tp=%d fp=%d fdr=%.3f recall=%.3f\n",
-			out.Name, out.Workload, out.Planted, out.Detectable, out.Flagged,
+			out.Name, workload, out.Planted, out.Detectable, out.Flagged,
 			out.TruePositives, out.FalsePositives, out.FalseDiscovery, out.DetectableRecall)
 		keys := make([]string, 0, len(out.Categories))
 		for k := range out.Categories {

@@ -1,0 +1,70 @@
+package churn
+
+import (
+	"testing"
+
+	"because/internal/bgp"
+	"because/internal/core"
+)
+
+// benchState compiles a mid-sized dataset (120 paths over ~30 ASes) and
+// returns the churn state behind the ModelState interface — the benches
+// below call through the interface deliberately, so they measure exactly
+// what the samplers' hot loops execute (devirtualisation included or not).
+func benchState(b *testing.B) core.ModelState {
+	b.Helper()
+	var obs []core.PathObs
+	for k := 0; k < 120; k++ {
+		obs = append(obs, core.PathObs{
+			ASNs: []bgp.ASN{
+				bgp.ASN(64500 + k%10),
+				bgp.ASN(64600 + (k*3)%11),
+				bgp.ASN(64700 + (k*7)%9),
+			},
+			Positive: k%4 == 0,
+		})
+	}
+	ds, err := core.NewDataset(obs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := make([]float64, ds.NumNodes())
+	for i := range p {
+		p[i] = 0.05 + 0.9*float64(i)/float64(len(p))
+	}
+	return Model{BackgroundRate: 0.08, MissRate: 0.04}.NewState(ds, p)
+}
+
+// BenchmarkChurnDeltaApply exercises the MH inner-loop kernel pair — one
+// DeltaFor probe plus one Apply commit per coordinate — through the
+// ModelState interface. The //lint:hotpath contract shows up here
+// dynamically: zero allocs/op.
+func BenchmarkChurnDeltaApply(b *testing.B) {
+	st := benchState(b)
+	n := len(st.Probabilities())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < n; j++ {
+			cand := 0.1 + 0.8*float64((i+j)%7)/7
+			if st.DeltaFor(j, cand) > -1 {
+				st.Apply(j, cand)
+			}
+		}
+	}
+}
+
+// BenchmarkChurnGrad exercises the HMC leapfrog kernel — the full
+// logit-space posterior gradient — through the ModelState interface,
+// likewise pinned at zero allocs/op.
+func BenchmarkChurnGrad(b *testing.B) {
+	st := benchState(b)
+	prior := core.Prior{Alpha: 0.4, Beta: 0.4}
+	grad := make([]float64, len(st.Probabilities()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.GradLogPostTheta(prior, grad)
+		st.Recompute()
+	}
+}

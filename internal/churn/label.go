@@ -1,0 +1,34 @@
+package churn
+
+import (
+	"because/internal/core"
+	"because/internal/label"
+)
+
+// LabelMeasurements binarises a campaign's measurements into path-change
+// observations: a path is labeled churned when at least one of its
+// burst/break pairs showed a route change (the path went quiet and
+// re-appeared), regardless of whether the pattern clears the RFD
+// labeler's 90%-of-pairs signature rule.
+//
+// This is a deliberately weaker signal than the RFD label — any single
+// unexpected transition marks the path — which is exactly what makes it a
+// churn observable: it fires on dampers, on flaky sessions and on
+// background instability alike, and Model.BackgroundRate is what lets the
+// inference tell those apart. The origin AS is dropped from each path
+// (Measurement.TomographyPath), matching the tomography convention that
+// an origin cannot act on its own prefix.
+func LabelMeasurements(ms []label.Measurement) []core.PathObs {
+	var out []core.PathObs
+	for _, m := range ms {
+		tomo := m.TomographyPath()
+		if len(tomo) == 0 {
+			continue
+		}
+		out = append(out, core.PathObs{
+			ASNs:     tomo,
+			Positive: m.PairsRFD >= 1,
+		})
+	}
+	return out
+}

@@ -87,7 +87,7 @@ func BenchmarkHMCLeapfrog(b *testing.B) {
 			mom[j] = rng.Norm()
 		}
 		copy(thetaProp, theta)
-		stProp.copyFrom(st)
+		stProp.CopyFrom(st)
 		hmcLeapfrog(stProp, SparsePrior, thetaProp, pProp, grad, mom, 0.08, 12)
 	}
 }

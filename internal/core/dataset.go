@@ -152,6 +152,24 @@ func (ds *Dataset) PositivePaths() [][]int {
 	return out
 }
 
+// PathNodes returns the node-index slice of observation j (shared
+// storage — callers must not modify). Together with PathPositive,
+// PathWeight and NodePathIndices it is the read surface that
+// ObservationModel implementations outside this package build their
+// likelihood kernels on; all four are O(1) field loads so they inline
+// into the models' hot loops.
+func (ds *Dataset) PathNodes(j int) []int { return ds.paths[j].nodes }
+
+// PathPositive reports whether observation j was labeled positive.
+func (ds *Dataset) PathPositive(j int) bool { return ds.paths[j].positive }
+
+// PathWeight returns observation j's likelihood weight (defaults applied).
+func (ds *Dataset) PathWeight(j int) float64 { return ds.paths[j].weight }
+
+// NodePathIndices returns the indices of the observations containing
+// node i (shared storage — callers must not modify).
+func (ds *Dataset) NodePathIndices(i int) []int { return ds.nodePaths[i] }
+
 // SortedASNs returns the node ASNs in ascending ASN order (not index
 // order), for stable reporting.
 func (ds *Dataset) SortedASNs() []bgp.ASN {

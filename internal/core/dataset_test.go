@@ -129,10 +129,10 @@ func TestIncrementalDeltaMatchesFullRecompute(t *testing.T) {
 	})
 	p := []float64{0.2, 0.5, 0.7}
 	st := newLikState(ds, p, 0)
-	base := st.logLik()
+	base := st.LogLik()
 	for i := 0; i < 3; i++ {
 		for _, pNew := range []float64{0.1, 0.45, 0.9} {
-			delta := st.deltaFor(i, pNew)
+			delta := st.DeltaFor(i, pNew)
 			p2 := append([]float64(nil), st.p...)
 			p2[i] = pNew
 			want := LogLik(ds, p2) - base
@@ -142,8 +142,8 @@ func TestIncrementalDeltaMatchesFullRecompute(t *testing.T) {
 		}
 	}
 	// Applying a move keeps the cache consistent.
-	st.apply(1, 0.9)
-	if got, want := st.logLik(), LogLik(ds, st.p); math.Abs(got-want) > 1e-9 {
+	st.Apply(1, 0.9)
+	if got, want := st.LogLik(), LogLik(ds, st.p); math.Abs(got-want) > 1e-9 {
 		t.Errorf("after apply: %g vs %g", got, want)
 	}
 }
@@ -182,7 +182,7 @@ func TestGradientMatchesFiniteDifferences(t *testing.T) {
 	}
 	st := newLikState(ds, pOf(theta), 0)
 	grad := make([]float64, n)
-	st.gradLogPostTheta(prior, grad)
+	st.GradLogPostTheta(prior, grad)
 
 	const h = 1e-6
 	for i := 0; i < n; i++ {
@@ -192,7 +192,7 @@ func TestGradientMatchesFiniteDifferences(t *testing.T) {
 		dn[i] -= h
 		stUp := newLikState(ds, pOf(up), 0)
 		stDn := newLikState(ds, pOf(dn), 0)
-		want := (stUp.logPostTheta(prior) - stDn.logPostTheta(prior)) / (2 * h)
+		want := (stUp.LogPostTheta(prior) - stDn.LogPostTheta(prior)) / (2 * h)
 		if math.Abs(grad[i]-want) > 1e-4*(1+math.Abs(want)) {
 			t.Errorf("grad[%d] = %g, finite diff %g", i, grad[i], want)
 		}

@@ -43,10 +43,10 @@ func TestErrorModelDeltaConsistent(t *testing.T) {
 		{ASNs: []bgp.ASN{1}, Positive: false},
 	})
 	st := newLikState(ds, []float64{0.2, 0.5, 0.7}, 0.15)
-	base := st.logLik()
+	base := st.LogLik()
 	for i := 0; i < 3; i++ {
 		for _, pNew := range []float64{0.1, 0.6, 0.9} {
-			delta := st.deltaFor(i, pNew)
+			delta := st.DeltaFor(i, pNew)
 			p2 := append([]float64(nil), st.p...)
 			p2[i] = pNew
 			want := LogLikWithError(ds, p2, 0.15) - base
@@ -75,7 +75,7 @@ func TestErrorModelGradient(t *testing.T) {
 	}
 	st := newLikState(ds, pOf(theta), m)
 	grad := make([]float64, len(theta))
-	st.gradLogPostTheta(prior, grad)
+	st.GradLogPostTheta(prior, grad)
 	const h = 1e-6
 	for i := range theta {
 		up := append([]float64(nil), theta...)
@@ -84,7 +84,7 @@ func TestErrorModelGradient(t *testing.T) {
 		dn[i] -= h
 		stUp := newLikState(ds, pOf(up), m)
 		stDn := newLikState(ds, pOf(dn), m)
-		want := (stUp.logPostTheta(prior) - stDn.logPostTheta(prior)) / (2 * h)
+		want := (stUp.LogPostTheta(prior) - stDn.LogPostTheta(prior)) / (2 * h)
 		if math.Abs(grad[i]-want) > 1e-4*(1+math.Abs(want)) {
 			t.Errorf("grad[%d] = %g, finite diff %g", i, grad[i], want)
 		}

@@ -29,8 +29,12 @@ type HMCConfig struct {
 	// to avoid resonance. Default 0.2.
 	Jitter float64
 	// MissRate, when positive, enables the § 7.2 measurement-error
-	// likelihood (see MHConfig.MissRate).
+	// likelihood (see MHConfig.MissRate). Ignored when Model is set.
 	MissRate float64
+	// Model selects the observation model the sampler draws against. Nil
+	// selects the default RFD likelihood at MissRate — the exact
+	// pre-interface behaviour, bit for bit.
+	Model ObservationModel
 
 	// Chain tags metrics and progress events with the chain index.
 	Chain int
@@ -103,6 +107,10 @@ func RunHMCContext(ctx context.Context, ds *Dataset, prior Prior, cfg HMCConfig,
 	if ds.NumNodes() == 0 {
 		return nil, fmt.Errorf("core: empty dataset")
 	}
+	model := modelOrDefault(cfg.Model, cfg.MissRate)
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
 	n := ds.NumNodes()
 
 	// Initialise from the prior, in θ space.
@@ -113,12 +121,12 @@ func RunHMCContext(ctx context.Context, ds *Dataset, prior Prior, cfg HMCConfig,
 		theta[i] = stats.Logit(clampP(betaDist.Sample(rng)))
 	}
 	thetaToP(theta, p)
-	st := newLikState(ds, p, cfg.MissRate)
+	st := model.NewState(ds, p)
 	// stProp is the proposal's scratch state, allocated once and refreshed
-	// from st per trajectory (copyFrom is exact: HMC never updates logQ
-	// incrementally, so st.logQ always equals a fresh recompute of st.p).
-	// On accept the two states swap pointers instead of allocating.
-	stProp := newLikState(ds, p, cfg.MissRate)
+	// from st per trajectory (CopyFrom is exact: HMC never updates the
+	// incremental caches coordinate-wise, so a copied state always equals a
+	// fresh recompute). On accept the two states swap instead of allocating.
+	stProp := model.NewState(ds, p)
 
 	grad := make([]float64, n)
 	mom := make([]float64, n)
@@ -126,7 +134,7 @@ func RunHMCContext(ctx context.Context, ds *Dataset, prior Prior, cfg HMCConfig,
 	pProp := make([]float64, n)
 
 	chain := &Chain{Method: "hmc", Nodes: ds.Nodes()}
-	logPost := st.logPostTheta(prior)
+	logPost := st.LogPostTheta(prior)
 
 	total := cfg.BurnIn + cfg.Iterations
 	// Nil metric handles (no observer) reduce every update to one pointer
@@ -148,7 +156,7 @@ func RunHMCContext(ctx context.Context, ds *Dataset, prior Prior, cfg HMCConfig,
 			kin0 += mom[i] * mom[i] / 2
 		}
 		copy(thetaProp, theta)
-		stProp.copyFrom(st)
+		stProp.CopyFrom(st)
 
 		eps := cfg.StepSize * (1 + cfg.Jitter*(2*rng.Float64()-1))
 		hmcLeapfrog(stProp, prior, thetaProp, pProp, grad, mom, eps, cfg.Leapfrog)
@@ -156,7 +164,7 @@ func RunHMCContext(ctx context.Context, ds *Dataset, prior Prior, cfg HMCConfig,
 		for i := range mom {
 			kin1 += mom[i] * mom[i] / 2
 		}
-		logPostProp := stProp.logPostTheta(prior)
+		logPostProp := stProp.LogPostTheta(prior)
 
 		logAlpha := (logPostProp - kin1) - (logPost - kin0)
 		chain.Proposed++
@@ -171,7 +179,7 @@ func RunHMCContext(ctx context.Context, ds *Dataset, prior Prior, cfg HMCConfig,
 			chain.Accepted++
 		}
 		if iter >= cfg.BurnIn {
-			chain.Samples = append(chain.Samples, append([]float64(nil), st.p...))
+			chain.Samples = append(chain.Samples, append([]float64(nil), st.Probabilities()...))
 		}
 		iterCtr.Inc()
 		if cfg.Progress != nil && (iter+1)%cfg.ProgressEvery == 0 && iter+1 < total {
@@ -213,12 +221,14 @@ func thetaToP(theta, p []float64) {
 // hmcLeapfrog integrates one trajectory in place — half momentum step,
 // steps-1 full position/momentum steps, closing half momentum step —
 // leaving the proposal position in thetaProp/pProp/stProp and the final
-// momentum in mom. All buffers are caller-owned; the integrator
-// allocates nothing.
+// momentum in mom. All buffers are caller-owned; the integrator touches
+// the likelihood only through the ModelState interface and allocates
+// nothing (a contract every model implementation inherits through the
+// hotpath resolution of the interface calls).
 //
 //lint:hotpath
-func hmcLeapfrog(stProp *likState, prior Prior, thetaProp, pProp, grad, mom []float64, eps float64, steps int) {
-	stProp.gradLogPostTheta(prior, grad)
+func hmcLeapfrog(stProp ModelState, prior Prior, thetaProp, pProp, grad, mom []float64, eps float64, steps int) {
+	stProp.GradLogPostTheta(prior, grad)
 	for i := range mom {
 		mom[i] += eps / 2 * grad[i]
 	}
@@ -235,8 +245,8 @@ func hmcLeapfrog(stProp *likState, prior Prior, thetaProp, pProp, grad, mom []fl
 			}
 		}
 		thetaToP(thetaProp, pProp)
-		stProp.setP(pProp)
-		stProp.gradLogPostTheta(prior, grad)
+		stProp.SetP(pProp)
+		stProp.GradLogPostTheta(prior, grad)
 		scale := eps
 		if step == steps-1 {
 			scale = eps / 2

@@ -36,8 +36,15 @@ type Config struct {
 	// MissRate, when positive, switches both samplers to the § 7.2
 	// measurement-error likelihood: a truly-positive path is recorded
 	// negative with this probability. Use it when the labeling stage is
-	// known to lose signatures (session resets, short Breaks).
+	// known to lose signatures (session resets, short Breaks). Ignored
+	// when Model is set — the model then owns the likelihood entirely.
 	MissRate float64
+	// Model is the observation model both samplers draw against. Nil (the
+	// default) selects RFDModel{MissRate: MissRate} — the paper's § 3.1
+	// likelihood, bit-identical to every pre-interface release. Models
+	// must be pure values (see ObservationModel); their Name() is carried
+	// on the Result.
+	Model ObservationModel
 	// Seed makes the run reproducible.
 	Seed uint64
 	// Workers bounds how many chains run concurrently: every MH chain and
@@ -79,6 +86,9 @@ func (c Config) withDefaults() Config {
 
 // Result is a full inference outcome.
 type Result struct {
+	// Model names the observation model the samplers drew against
+	// ("rfd" unless Config.Model selected another).
+	Model string
 	// Summaries are per-AS outcomes in dataset node order.
 	Summaries []NodeSummary
 	// Chains are the raw sampler outputs ("mh" and/or "hmc").
@@ -161,8 +171,11 @@ func InferContext(ctx context.Context, ds *Dataset, cfg Config) (*Result, error)
 	if cfg.DisableMH && cfg.DisableHMC {
 		return nil, fmt.Errorf("core: both samplers disabled")
 	}
+	model := modelOrDefault(cfg.Model, cfg.MissRate)
 	cfg.MH.MissRate = cfg.MissRate
 	cfg.HMC.MissRate = cfg.MissRate
+	cfg.MH.Model = model
+	cfg.HMC.Model = model
 	if cfg.Chains < 1 {
 		cfg.Chains = 1
 	}
@@ -178,7 +191,7 @@ func InferContext(ctx context.Context, ds *Dataset, cfg Config) (*Result, error)
 		o.Log(obs.LevelInfo, "inference started",
 			"paths", ds.NumPaths(), "nodes", ds.NumNodes(), "chains", cfg.Chains,
 			"mh", !cfg.DisableMH, "hmc", !cfg.DisableHMC, "miss_rate", cfg.MissRate,
-			"workers", workers)
+			"model", model.Name(), "workers", workers)
 	}
 	// Progress callbacks may now arrive from several chain goroutines;
 	// serialise them so user callbacks keep their single-threaded contract.
@@ -370,7 +383,7 @@ func InferContext(ctx context.Context, ds *Dataset, cfg Config) (*Result, error)
 	span.End()
 	sumSpan.SetAttr("nodes", len(summaries))
 	sumSpan.End()
-	res := &Result{Summaries: summaries, Chains: chains}
+	res := &Result{Model: model.Name(), Summaries: summaries, Chains: chains}
 	res.buildIndex()
 	if cfg.PinpointThreshold > 0 {
 		span := o.StartSpan("pinpoint")

@@ -57,7 +57,7 @@ func newLikState(ds *Dataset, p []float64, missRate float64) *likState {
 		st.p[i] = clampP(st.p[i])
 	}
 	st.logQ = make([]float64, len(ds.paths))
-	st.recompute()
+	st.Recompute()
 	return st
 }
 
@@ -80,32 +80,41 @@ func (st *likState) logPosTerm(logQ float64) float64 {
 	return t
 }
 
-// copyFrom makes st an exact copy of src's mutable state. st and src
-// must share the same dataset and miss rate (the HMC sampler's two
-// swap states do by construction).
+// CopyFrom makes st an exact copy of src's mutable state. st and src
+// must come from the same model's NewState over the same dataset (the
+// HMC sampler's two swap states do by construction); the ModelState
+// contract makes anything else a programming error, so the assertion
+// panics.
 //
 //lint:hotpath
-func (st *likState) copyFrom(src *likState) {
-	copy(st.p, src.p)
-	copy(st.logQ, src.logQ)
+func (st *likState) CopyFrom(src ModelState) {
+	other := src.(*likState)
+	copy(st.p, other.p)
+	copy(st.logQ, other.logQ)
 }
 
-// setP replaces the whole probability vector and rebuilds the caches;
+// Probabilities returns the state's own probability vector (mutated in
+// place by Apply/SetP; callers must not modify it).
+//
+//lint:hotpath
+func (st *likState) Probabilities() []float64 { return st.p }
+
+// SetP replaces the whole probability vector and rebuilds the caches;
 // used by the HMC leapfrog, which moves all coordinates at once.
 //
 //lint:hotpath
-func (st *likState) setP(p []float64) {
+func (st *likState) SetP(p []float64) {
 	for i := range p {
 		st.p[i] = clampP(p[i])
 	}
-	st.recompute()
+	st.Recompute()
 }
 
-// recompute rebuilds the logQ cache from scratch (called initially and
+// Recompute rebuilds the logQ cache from scratch (called initially and
 // periodically to cancel numerical drift).
 //
 //lint:hotpath
-func (st *likState) recompute() {
+func (st *likState) Recompute() {
 	for j, path := range st.ds.paths {
 		s := 0.0
 		for _, i := range path.nodes {
@@ -115,10 +124,10 @@ func (st *likState) recompute() {
 	}
 }
 
-// logLik returns the full data log-likelihood at the current state.
+// LogLik returns the full data log-likelihood at the current state.
 //
 //lint:hotpath
-func (st *likState) logLik() float64 {
+func (st *likState) LogLik() float64 {
 	total := 0.0
 	for j, path := range st.ds.paths {
 		if path.positive {
@@ -130,11 +139,11 @@ func (st *likState) logLik() float64 {
 	return total
 }
 
-// deltaFor returns the change in log-likelihood if node i moved from its
+// DeltaFor returns the change in log-likelihood if node i moved from its
 // current value to pNew, without mutating state.
 //
 //lint:hotpath
-func (st *likState) deltaFor(i int, pNew float64) float64 {
+func (st *likState) DeltaFor(i int, pNew float64) float64 {
 	pNew = clampP(pNew)
 	pOld := st.p[i]
 	dLogQ := math.Log1p(-pNew) - math.Log1p(-pOld)
@@ -150,10 +159,10 @@ func (st *likState) deltaFor(i int, pNew float64) float64 {
 	return delta
 }
 
-// apply commits a new value for node i, updating the caches.
+// Apply commits a new value for node i, updating the caches.
 //
 //lint:hotpath
-func (st *likState) apply(i int, pNew float64) {
+func (st *likState) Apply(i int, pNew float64) {
 	pNew = clampP(pNew)
 	dLogQ := math.Log1p(-pNew) - math.Log1p(-st.p[i])
 	for _, j := range st.ds.nodePaths[i] {
@@ -167,14 +176,17 @@ func (st *likState) apply(i int, pNew float64) {
 // log-space and linear-space evaluation.
 func LogLik(ds *Dataset, p []float64) float64 {
 	st := newLikState(ds, p, 0)
-	return st.logLik()
+	return st.LogLik()
 }
 
 // LogLikWithError is LogLik under the § 7.2 measurement-error model with
 // the given miss rate.
+//
+// Deprecated: build the state through the ObservationModel API instead —
+// RFDModel{MissRate: m}.NewState(ds, p).LogLik() — which is what the
+// samplers themselves evaluate. The shim delegates to exactly that.
 func LogLikWithError(ds *Dataset, p []float64, missRate float64) float64 {
-	st := newLikState(ds, p, missRate)
-	return st.logLik()
+	return RFDModel{MissRate: missRate}.NewState(ds, p).LogLik()
 }
 
 // LinearLik computes the likelihood in linear space (the naive translation
@@ -196,7 +208,7 @@ func LinearLik(ds *Dataset, p []float64) float64 {
 	return total
 }
 
-// gradLogPostTheta fills grad with the gradient of the log posterior in
+// GradLogPostTheta fills grad with the gradient of the log posterior in
 // logit space θ (p = expit(θ)), including the Beta(prior) term and the
 // change-of-variables Jacobian. Used by the HMC sampler.
 //
@@ -207,7 +219,7 @@ func LinearLik(ds *Dataset, p []float64) float64 {
 //	positive path j ∋ i:  ∂/∂θ_i w_j log(1-Q_j)   =  w_j p_i Q_j/(1-Q_j)
 //
 //lint:hotpath
-func (st *likState) gradLogPostTheta(prior Prior, grad []float64) {
+func (st *likState) GradLogPostTheta(prior Prior, grad []float64) {
 	for i := range grad {
 		p := st.p[i]
 		grad[i] = prior.Alpha*(1-p) - prior.Beta*p
@@ -240,24 +252,17 @@ func (st *likState) gradLogPostTheta(prior Prior, grad []float64) {
 	}
 }
 
-// logPostTheta returns the log posterior density in θ space at the current
+// LogPostTheta returns the log posterior density in θ space at the current
 // state: logLik + Σ_i [a·log p_i + b·log(1-p_i)] (Beta prior + Jacobian,
 // dropping the constant -log B(a,b)).
 //
 //lint:hotpath
-func (st *likState) logPostTheta(prior Prior) float64 {
-	lp := st.logLik()
+func (st *likState) LogPostTheta(prior Prior) float64 {
+	lp := st.LogLik()
 	for _, p := range st.p {
 		lp += prior.Alpha*math.Log(p) + prior.Beta*math.Log(1-p)
 	}
 	return lp
-}
-
-// logPostP returns the log posterior density in p space (likelihood plus
-// Beta prior log-density without constants). Used by the MH sampler.
-func (st *likState) logPriorP(prior Prior, i int) float64 {
-	p := st.p[i]
-	return (prior.Alpha-1)*math.Log(p) + (prior.Beta-1)*math.Log(1-p)
 }
 
 func logPriorAt(prior Prior, p float64) float64 {

@@ -26,8 +26,13 @@ type MHConfig struct {
 	Thin int
 	// MissRate, when positive, enables the § 7.2 measurement-error
 	// likelihood: a truly-positive path is recorded negative with this
-	// probability.
+	// probability. Ignored when Model is set (the model then owns the
+	// likelihood entirely).
 	MissRate float64
+	// Model selects the observation model the sampler draws against. Nil
+	// selects the default RFD likelihood at MissRate — the exact
+	// pre-interface behaviour, bit for bit.
+	Model ObservationModel
 
 	// Chain tags metrics and progress events with the chain index when the
 	// sampler runs as part of a multi-chain ensemble (set by Infer).
@@ -92,6 +97,10 @@ func RunMHContext(ctx context.Context, ds *Dataset, prior Prior, cfg MHConfig, r
 	if ds.NumNodes() == 0 {
 		return nil, fmt.Errorf("core: empty dataset")
 	}
+	model := modelOrDefault(cfg.Model, cfg.MissRate)
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
 	n := ds.NumNodes()
 
 	// Initialise from the prior.
@@ -100,7 +109,7 @@ func RunMHContext(ctx context.Context, ds *Dataset, prior Prior, cfg MHConfig, r
 	for i := range p0 {
 		p0[i] = clampP(betaDist.Sample(rng))
 	}
-	st := newLikState(ds, p0, cfg.MissRate)
+	st := model.NewState(ds, p0)
 
 	chain := &Chain{Method: "mh", Nodes: ds.Nodes()}
 	total := cfg.BurnIn + cfg.Sweeps
@@ -120,11 +129,11 @@ func RunMHContext(ctx context.Context, ds *Dataset, prior Prior, cfg MHConfig, r
 		chain.Accepted += acc
 		chain.Proposed += prop
 		if sweep >= cfg.BurnIn && (sweep-cfg.BurnIn)%cfg.Thin == 0 {
-			chain.Samples = append(chain.Samples, append([]float64(nil), st.p...))
+			chain.Samples = append(chain.Samples, append([]float64(nil), st.Probabilities()...))
 		}
 		// Periodically cancel numeric drift in the incremental cache.
 		if sweep%256 == 255 {
-			st.recompute()
+			st.Recompute()
 		}
 		sweepCtr.Inc()
 		if cfg.Progress != nil && (sweep+1)%cfg.ProgressEvery == 0 && sweep+1 < total {
@@ -157,24 +166,30 @@ func RunMHContext(ctx context.Context, ds *Dataset, prior Prior, cfg MHConfig, r
 // coordinate, in a fresh random order written into the caller's order
 // buffer, gets a truncated-normal proposal with the asymmetry correction
 // of Eq. 7. The draw sequence is identical to the pre-extraction inline
-// loop, so chains are bit-for-bit stable across the refactor.
+// loop, so chains are bit-for-bit stable across the refactor. The sweep
+// touches the likelihood only through the ModelState interface — every
+// implementation's kernels must stay allocation-free (the hotpath
+// contract below resolves the interface calls against all of them).
 //
 //lint:hotpath
-func mhSweep(st *likState, prior Prior, stepSize float64, order []int, rng *stats.RNG) (accepted, proposed int) {
+func mhSweep(st ModelState, prior Prior, stepSize float64, order []int, rng *stats.RNG) (accepted, proposed int) {
 	rng.PermInto(order)
+	// Apply mutates the vector in place, so the slice stays current
+	// across the whole sweep (part of the Probabilities contract).
+	pvec := st.Probabilities()
 	for _, i := range order {
-		cur := st.p[i]
+		cur := pvec[i]
 		prop := stats.TruncNormal{Mu: cur, Sigma: stepSize, Lo: 0, Hi: 1}
 		cand := clampP(prop.Sample(rng))
 		// log acceptance ratio: likelihood delta + prior delta +
 		// proposal asymmetry Q(p|p')/Q(p'|p).
 		back := stats.TruncNormal{Mu: cand, Sigma: stepSize, Lo: 0, Hi: 1}
-		logAlpha := st.deltaFor(i, cand) +
+		logAlpha := st.DeltaFor(i, cand) +
 			logPriorAt(prior, cand) - logPriorAt(prior, cur) +
 			back.LogPDF(cur) - prop.LogPDF(cand)
 		proposed++
 		if logAlpha >= 0 || math.Log(rng.Float64()+1e-300) < logAlpha {
-			st.apply(i, cand)
+			st.Apply(i, cand)
 			accepted++
 		}
 	}

@@ -243,6 +243,30 @@ func (r *Run) InferContext(ctx context.Context) (*core.Result, *core.Dataset, er
 	return res, ds, nil
 }
 
+// InferModelContext runs BeCAUSe over caller-labeled observations under
+// an explicit observation model, with the run's standard sampler settings
+// and the same seed derivation as InferContext — so swapping the model is
+// the ONLY difference between workloads built on the same campaign. This
+// is the entry the scenario runner dispatches non-default models through.
+func (r *Run) InferModelContext(ctx context.Context, obs []core.PathObs, model core.ObservationModel) (*core.Result, *core.Dataset, error) {
+	if len(obs) == 0 {
+		return nil, nil, fmt.Errorf("experiment: campaign %s produced no observations", r.Campaign.Name)
+	}
+	ds, err := core.NewDataset(obs)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := InferConfig(r.Scenario.Config.Seed + 7)
+	cfg.Obs = r.Scenario.Obs
+	cfg.Workers = r.Scenario.Config.Workers
+	cfg.Model = model
+	res, err := core.InferContext(ctx, ds, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, ds, nil
+}
+
 // Heuristics runs the § 5.2 baseline over the same inputs.
 func (r *Run) Heuristics() []heuristics.Score {
 	return heuristics.Evaluate(heuristics.Input{

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -174,6 +175,12 @@ type Tab4Result struct {
 // likewise removed the two undetectable ASes) and BeCAUSe against a
 // synthesised ROV deployment (§ 7).
 func Tab4PrecisionRecall(s *Suite) (*Tab4Result, error) {
+	return Tab4PrecisionRecallContext(context.Background(), s)
+}
+
+// Tab4PrecisionRecallContext is Tab4PrecisionRecall under a context: the
+// ROV benchmark's inference run is cancellable at sweep granularity.
+func Tab4PrecisionRecallContext(ctx context.Context, s *Suite) (*Tab4Result, error) {
 	run, err := s.IntervalRun(time.Minute)
 	if err != nil {
 		return nil, err
@@ -206,7 +213,7 @@ func Tab4PrecisionRecall(s *Suite) (*Tab4Result, error) {
 	// ROV benchmark: label the measured paths with a synthesised ROV
 	// deployment (§ 7 does the same with known ROV ASes), then run the
 	// identical inference.
-	rovRes, rovDS, rovASes, err := rovBenchmark(run)
+	rovRes, rovDS, rovASes, err := rovBenchmark(ctx, run)
 	if err != nil {
 		return nil, err
 	}
@@ -220,7 +227,7 @@ func Tab4PrecisionRecall(s *Suite) (*Tab4Result, error) {
 // rovBenchmark synthesises the § 7 dataset over the run's measured paths:
 // transit ASes with large customer cones adopt ROV until ~90% of paths are
 // positive, then BeCAUSe runs unchanged.
-func rovBenchmark(run *Run) (*core.Result, *core.Dataset, map[bgp.ASN]bool, error) {
+func rovBenchmark(ctx context.Context, run *Run) (*core.Result, *core.Dataset, map[bgp.ASN]bool, error) {
 	s := run.Scenario
 	// Candidate adopters: measured transit ASes, largest cones first.
 	measured := run.MeasuredASes()
@@ -275,7 +282,7 @@ func rovBenchmark(run *Run) (*core.Result, *core.Dataset, map[bgp.ASN]bool, erro
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	res, err := core.Infer(ds, InferConfig(s.Config.Seed+99))
+	res, err := core.InferContext(ctx, ds, InferConfig(s.Config.Seed+99))
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -299,7 +306,20 @@ func (t *Tab4Result) Report() Report {
 	return rep
 }
 
+// ROVBenchmarkContext runs the § 7 ROV benchmark end to end under a
+// context and exposes its internals — the inferred result, the synthetic
+// dataset and the planted adopter set. It is the rov-workload entry the
+// scenario runner dispatches to, symmetric with Run.InferModelContext on
+// the model side.
+func ROVBenchmarkContext(ctx context.Context, run *Run) (*core.Result, *core.Dataset, map[bgp.ASN]bool, error) {
+	return rovBenchmark(ctx, run)
+}
+
 // ROVDebug exposes the ROV benchmark internals for diagnostics.
+//
+// Deprecated: use ROVBenchmarkContext. ROVDebug predates the pluggable
+// observation-model API's workload dispatch and cannot be cancelled; the
+// shim runs the benchmark under context.Background().
 func ROVDebug(run *Run) (*core.Result, *core.Dataset, map[bgp.ASN]bool, error) {
-	return rovBenchmark(run)
+	return rovBenchmark(context.Background(), run)
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"because"
 	"because/internal/bgp"
 	"because/internal/collector"
 	"because/internal/experiment"
@@ -34,6 +35,11 @@ func RenderScenario(spec *Spec, world *experiment.Scenario) string {
 	fmt.Fprintf(&b, "scenario %s format=%d seed=%d\n",
 		spec.Name, FormatVersion, spec.Seed)
 	fmt.Fprintf(&b, "workload %s\n", spec.ResolvedWorkload())
+	// The model line appears only for non-default models, keeping every
+	// pre-existing golden byte-stable.
+	if m := spec.ResolvedModel(); m != because.ModelRFD {
+		fmt.Fprintf(&b, "model %s churn-rate=%g\n", m, spec.ChurnRate)
+	}
 
 	c := spec.BeaconCampaign()
 	ivs := make([]string, len(c.Intervals))

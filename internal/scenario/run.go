@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"strconv"
 
+	"because"
 	"because/internal/bgp"
+	"because/internal/churn"
 	"because/internal/core"
 	"because/internal/experiment"
 )
@@ -17,6 +19,9 @@ import (
 type Outcome struct {
 	Name     string `json:"name"`
 	Workload string `json:"workload"`
+	// Model names the observation model inference drew against ("rfd" or
+	// "churn" — the resolved name).
+	Model string `json:"model,omitempty"`
 	// Planted is the ground-truth deployment size (RFD dampers, or ROV
 	// adopters for the rov workload).
 	Planted int `json:"planted"`
@@ -63,14 +68,28 @@ func Run(ctx context.Context, spec *Spec) (*Outcome, error) {
 		ds    *core.Dataset
 		truth map[bgp.ASN]bool
 	)
-	switch spec.ResolvedWorkload() {
-	case "rov":
+	switch {
+	case spec.ResolvedWorkload() == "rov":
 		var rovASes map[bgp.ASN]bool
-		res, ds, rovASes, err = experiment.ROVDebug(run)
+		res, ds, rovASes, err = experiment.ROVBenchmarkContext(ctx, run)
 		if err != nil {
 			return nil, fmt.Errorf("scenario %s: rov benchmark: %w", spec.Name, err)
 		}
 		truth = rovASes
+	case spec.ResolvedModel() == because.ModelChurn:
+		// The churn model relabels the same campaign: any path change marks
+		// a path churned, and the planted dampers remain the ground truth —
+		// they are what the extra churn must be attributed to once the
+		// background rate absorbs the noise floor.
+		obs := churn.LabelMeasurements(run.Measurements)
+		res, ds, err = run.InferModelContext(ctx, obs, churn.Model{BackgroundRate: spec.ChurnRate})
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: churn inference: %w", spec.Name, err)
+		}
+		truth = make(map[bgp.ASN]bool, len(world.Deployments))
+		for _, asn := range world.TrueDampers() {
+			truth[asn] = true
+		}
 	default:
 		res, ds, err = run.InferContext(ctx)
 		if err != nil {
@@ -85,6 +104,7 @@ func Run(ctx context.Context, spec *Spec) (*Outcome, error) {
 	out := &Outcome{
 		Name:       spec.Name,
 		Workload:   spec.ResolvedWorkload(),
+		Model:      spec.ResolvedModel(),
 		Planted:    len(truth),
 		Categories: make(map[string]int),
 	}

@@ -58,6 +58,14 @@ type Spec struct {
 	// (default) scores against the planted RFD deployment, "rov" runs the
 	// § 7 ROV benchmark synthesised over the same measured paths.
 	Workload string `json:"workload,omitempty"`
+	// Model selects the observation model inference draws against: ""/"rfd"
+	// is the default RFD-signature likelihood; "churn" relabels the same
+	// campaign as binary path-change observations and infers under the
+	// churn model. Only the default (rfd) workload accepts a model override.
+	Model string `json:"model,omitempty"`
+	// ChurnRate is the churn model's background-churn probability β;
+	// only meaningful (and only accepted) with Model == "churn".
+	ChurnRate float64 `json:"churn_rate,omitempty"`
 	// Seed drives every derived RNG stream (world building, campaign
 	// delays, inference chains).
 	Seed uint64 `json:"seed"`
@@ -202,6 +210,20 @@ func (s *Spec) Validate() error {
 	default:
 		return errf("workload", "unknown workload %q (want rfd or rov)", s.Workload)
 	}
+	switch s.Model {
+	case "", because.ModelRFD, because.ModelChurn:
+	default:
+		return errf("model", "unknown model %q (want rfd or churn)", s.Model)
+	}
+	if s.ResolvedModel() != because.ModelRFD && s.ResolvedWorkload() != "rfd" {
+		return errf("model", "model %q requires the default rfd workload", s.Model)
+	}
+	if s.ChurnRate < 0 || s.ChurnRate >= 1 {
+		return errf("churn_rate", "must be in [0, 1), got %g", s.ChurnRate)
+	}
+	if s.ChurnRate > 0 && s.Model != because.ModelChurn {
+		return errf("churn_rate", `only meaningful with model "churn"`)
+	}
 	if s.Workers < 0 {
 		return errf("workers", "must be non-negative")
 	}
@@ -280,6 +302,15 @@ func (s *Spec) ResolvedWorkload() string {
 		return "rfd"
 	}
 	return s.Workload
+}
+
+// ResolvedModel returns the effective observation model (because.ModelRFD
+// unless another model is stated).
+func (s *Spec) ResolvedModel() string {
+	if s.Model == "" {
+		return because.ModelRFD
+	}
+	return s.Model
 }
 
 // ExpectedCategories returns the pinned per-AS category expectations in
@@ -371,7 +402,9 @@ func (s *Spec) InferOptions() because.Options {
 		Seed:     s.Seed + 7,
 		MHSweeps: 1600, MHBurnIn: 400,
 		HMCIterations: 600, HMCBurnIn: 200,
-		Workers: s.Workers,
+		Workers:   s.Workers,
+		Model:     s.Model,
+		ChurnRate: s.ChurnRate,
 	}
 }
 

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"because"
+)
+
+// TestUnknownModel422: an unrecognised model name must surface as the
+// typed 422 envelope with the failing field, not a 500.
+func TestUnknownModel422(t *testing.T) {
+	srv := New(Config{})
+	h := srv.Handler()
+	body := strings.Replace(smallBody, `"seed":1`, `"seed":1,"model":"rov"`, 1)
+	rec := postInfer(t, h, body)
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown-model POST = %d, want 422: %s", rec.Code, rec.Body)
+	}
+	var env struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(env.Error, "model") {
+		t.Errorf("error %q does not name the model field", env.Error)
+	}
+}
+
+// TestChurnRateWithoutChurnModel422: churn_rate is churn-model-only.
+func TestChurnRateWithoutChurnModel422(t *testing.T) {
+	srv := New(Config{})
+	h := srv.Handler()
+	body := strings.Replace(smallBody, `"seed":1`, `"seed":1,"churn_rate":0.1`, 1)
+	if rec := postInfer(t, h, body); rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("churn_rate-without-churn POST = %d, want 422: %s", rec.Code, rec.Body)
+	}
+}
+
+// TestModelKeyedCacheEntries: repeating a churn request hits the cache;
+// switching models over the same observations misses it — the model is
+// part of the request key.
+func TestModelKeyedCacheEntries(t *testing.T) {
+	var calls atomic.Int64
+	srv := New(Config{Infer: countingInfer(&calls)})
+	h := srv.Handler()
+	churnBody := strings.Replace(smallBody, `"seed":1`, `"seed":1,"model":"churn","churn_rate":0.05`, 1)
+
+	if rec := postInfer(t, h, churnBody); rec.Code != http.StatusOK || rec.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("first churn POST = %d cache=%q: %s", rec.Code, rec.Header().Get("X-Cache"), rec.Body)
+	}
+	if rec := postInfer(t, h, churnBody); rec.Code != http.StatusOK || rec.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("repeat churn POST = %d cache=%q", rec.Code, rec.Header().Get("X-Cache"))
+	}
+	if rec := postInfer(t, h, smallBody); rec.Code != http.StatusOK || rec.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("default-model POST after churn = %d cache=%q (cross-model collision)", rec.Code, rec.Header().Get("X-Cache"))
+	}
+	if calls.Load() != 2 {
+		t.Errorf("inference ran %d times, want 2 (one per model)", calls.Load())
+	}
+}
+
+// TestRequestKeyModelSemantics pins the canonicalisation rules for the
+// model knobs: "" and "rfd" share a key; churn fragments by rate.
+func TestRequestKeyModelSemantics(t *testing.T) {
+	obsA := []because.PathObservation{{Path: []because.ASN{1, 2}, ShowsProperty: true}}
+	base := requestKey(obsA, because.Options{Seed: 1})
+	if got := requestKey(obsA, because.Options{Seed: 1, Model: because.ModelRFD}); got != base {
+		t.Error(`"" and "rfd" must share a cache entry`)
+	}
+	churn := requestKey(obsA, because.Options{Seed: 1, Model: because.ModelChurn, ChurnRate: 0.05})
+	if churn == base {
+		t.Error("churn and rfd share a key")
+	}
+	if got := requestKey(obsA, because.Options{Seed: 1, Model: because.ModelChurn, ChurnRate: 0.1}); got == churn {
+		t.Error("different churn rates share a key")
+	}
+}

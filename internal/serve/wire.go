@@ -45,6 +45,8 @@ type RequestOptions struct {
 	HDPIMass          float64 `json:"hdpi_mass,omitempty"`
 	PinpointThreshold float64 `json:"pinpoint_threshold,omitempty"`
 	MissRate          float64 `json:"miss_rate,omitempty"`
+	Model             string  `json:"model,omitempty"` // "", "rfd", "churn"
+	ChurnRate         float64 `json:"churn_rate,omitempty"`
 }
 
 // toOptions converts the wire request into API inputs. chainWorkers and
@@ -62,6 +64,8 @@ func (r *InferRequest) toOptions(chainWorkers int, o *obs.Observer) ([]because.P
 		HDPIMass:          r.Options.HDPIMass,
 		PinpointThreshold: r.Options.PinpointThreshold,
 		MissRate:          r.Options.MissRate,
+		Model:             r.Options.Model,
+		ChurnRate:         r.Options.ChurnRate,
 		Workers:           chainWorkers,
 		Obs:               o,
 	}
@@ -149,12 +153,13 @@ func streamErrorEnvelope(code int, st JobStatus) any {
 func requestKey(observations []because.PathObservation, o because.Options) string {
 	h := sha256.New()
 	c := canonicalOptions(o)
-	fmt.Fprintf(h, "v%d|seed=%d|prior=%g,%g|mh=%d,%d,%t|hmc=%d,%d,%t|chains=%d|mass=%g|pin=%g|miss=%g|",
+	fmt.Fprintf(h, "v%d|seed=%d|prior=%g,%g|mh=%d,%d,%t|hmc=%d,%d,%t|chains=%d|mass=%g|pin=%g|miss=%g|model=%s,%g|",
 		because.SchemaVersion, c.Seed,
 		c.Prior.Alpha, c.Prior.Beta,
 		c.MHSweeps, c.MHBurnIn, c.DisableMH,
 		c.HMCIterations, c.HMCBurnIn, c.DisableHMC,
-		c.Chains, c.HDPIMass, c.PinpointThreshold, c.MissRate)
+		c.Chains, c.HDPIMass, c.PinpointThreshold, c.MissRate,
+		c.Model, c.ChurnRate)
 	for _, ob := range observations {
 		for _, a := range ob.Path {
 			fmt.Fprintf(h, "%d,", a)
@@ -184,6 +189,8 @@ func canonicalOptions(o because.Options) because.Options {
 		Chains:     o.Chains,
 		HDPIMass:   o.HDPIMass,
 		MissRate:   o.MissRate,
+		Model:      o.ResolvedModel(),
+		ChurnRate:  o.ChurnRate,
 
 		HMCIterations:     o.HMCIterations,
 		HMCBurnIn:         o.HMCBurnIn,

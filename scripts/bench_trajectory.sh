@@ -4,12 +4,13 @@
 # Runs the headline benchmarks (BenchmarkInfer: the parallel multi-chain
 # sampling engine; BenchmarkPublicInfer: the full public API path;
 # BenchmarkLint: a whole-module becauselint pass; the //lint:hotpath
-# sampler kernels, which must hold zero allocs/op) and emits a
+# sampler and observation-model kernels, which must hold zero allocs/op)
+# and emits a
 # machine-readable JSON document — benchmark name, ns/op, B/op,
 # allocs/op, plus the commit the numbers were taken at — so successive
 # PRs leave comparable perf data points in the repo.
 #
-# Output goes to BENCH_PR8.json (override with BENCH_OUT). BENCHTIME
+# Output goes to BENCH_PR9.json (override with BENCH_OUT). BENCHTIME
 # tunes -benchtime; the default 1x runs one timed iteration per
 # benchmark — enough for the coarse trajectory and quick in CI. Use e.g.
 # BENCHTIME=2s for stabler numbers. Needs only sh + the Go toolchain.
@@ -17,7 +18,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT=${BENCH_OUT:-BENCH_PR8.json}
+OUT=${BENCH_OUT:-BENCH_PR9.json}
 BENCHTIME=${BENCHTIME:-1x}
 
 RAW=$(mktemp)
@@ -34,6 +35,9 @@ go test -run '^$' -bench '^(BenchmarkMHSweep|BenchmarkHMCLeapfrog)$' \
     -benchmem -benchtime "$BENCHTIME" ./internal/core | tee -a "$RAW"
 go test -run '^$' -bench '^(BenchmarkPermInto|BenchmarkTruncNormalSample)$' \
     -benchmem -benchtime "$BENCHTIME" ./internal/stats | tee -a "$RAW"
+echo "bench-trajectory: churn observation-model kernels"
+go test -run '^$' -bench '^(BenchmarkChurnDeltaApply|BenchmarkChurnGrad)$' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/churn | tee -a "$RAW"
 
 COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 GOVER=$(go env GOVERSION)

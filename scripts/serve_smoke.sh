@@ -7,7 +7,9 @@
 # ?stream=1 SSE inference, a GET /v1/jobs/{id} status poll (state, trace)
 # and a buffered-events SSE replay — exercises the named-scenario API
 # (list, a full server-side scenario run, cache hit on repeat, 404 on
-# unknown names) — then SIGTERMs the daemon and asserts
+# unknown names) and the observation-model field (a churn-model request,
+# cache hit on its repeat, miss across models, 422 on unknown model
+# names) — then SIGTERMs the daemon and asserts
 # a clean drain (exit 0). Needs only sh + curl + the Go toolchain.
 set -eu
 
@@ -117,6 +119,37 @@ log "repeat scenario inference served from cache"
 CODE=$(curl -s -o "$BODY" -w '%{http_code}' -X POST "http://$ADDR/v1/scenarios/no-such/infer")
 [ "$CODE" = 404 ] || fail "unknown scenario returned $CODE, want 404: $(cat "$BODY")"
 log "unknown scenario rejected with 404"
+
+# Observation models: a churn-model request computes fresh (the model is
+# part of the cache key), repeats hit, and the same observations under the
+# default model miss — distinct models never share cache entries.
+MREQ='{"observations":[{"path":[64500,64510],"positive":true},{"path":[64500,64520],"positive":false},{"path":[64501,64510],"positive":true}],"options":{"seed":9,"mh_sweeps":200,"mh_burn_in":50,"hmc_iterations":50,"hmc_burn_in":10,"model":"churn","churn_rate":0.05}}'
+CODE=$(curl -s -o "$BODY" -w '%{http_code}' -X POST -d "$MREQ" "http://$ADDR/v1/infer")
+[ "$CODE" = 200 ] || fail "churn-model inference returned $CODE: $(cat "$BODY")"
+grep -q '"cached":false' "$BODY" || fail "first churn-model response claims to be cached: $(cat "$BODY")"
+grep -q '"model":"churn"' "$BODY" || fail "churn-model result not stamped with the model: $(cat "$BODY")"
+log "churn-model inference OK (miss)"
+
+HDRS=$(mktemp)
+CODE=$(curl -s -o "$BODY" -D "$HDRS" -w '%{http_code}' -X POST -d "$MREQ" "http://$ADDR/v1/infer")
+[ "$CODE" = 200 ] || fail "repeat churn-model inference returned $CODE: $(cat "$BODY")"
+grep -qi '^x-cache: hit' "$HDRS" || fail "repeat churn-model query not a cache hit: $(cat "$HDRS")"
+rm -f "$HDRS"
+log "repeat churn-model inference served from cache"
+
+DREQ=$(printf '%s' "$MREQ" | sed 's/,"model":"churn","churn_rate":0.05//')
+HDRS=$(mktemp)
+CODE=$(curl -s -o "$BODY" -D "$HDRS" -w '%{http_code}' -X POST -d "$DREQ" "http://$ADDR/v1/infer")
+[ "$CODE" = 200 ] || fail "default-model inference returned $CODE: $(cat "$BODY")"
+grep -qi '^x-cache: miss' "$HDRS" || fail "default model shared the churn model's cache entry: $(cat "$HDRS")"
+rm -f "$HDRS"
+log "cache keyed by model (miss across models)"
+
+BADREQ=$(printf '%s' "$MREQ" | sed 's/"model":"churn"/"model":"rov"/')
+CODE=$(curl -s -o "$BODY" -w '%{http_code}' -X POST -d "$BADREQ" "http://$ADDR/v1/infer")
+[ "$CODE" = 422 ] || fail "unknown model returned $CODE, want 422: $(cat "$BODY")"
+grep -q 'model' "$BODY" || fail "unknown-model error does not name the field: $(cat "$BODY")"
+log "unknown model rejected with 422"
 
 kill -TERM "$PID"
 if ! wait "$PID"; then

@@ -1,6 +1,7 @@
 // Command becauselint runs BeCAUSe's project-specific static analyzers:
-// machine-checked enforcement of the determinism, RNG-discipline and
-// observability contracts the reproducibility harness depends on.
+// machine-checked enforcement of the determinism, RNG-discipline,
+// observability and lock-discipline contracts the reproducibility
+// harness depends on.
 //
 //	becauselint ./...             lint the whole module
 //	becauselint -json ./...       machine-readable findings

@@ -19,14 +19,28 @@ const (
 	determinismFixture = "./../../internal/lint/testdata/src/determinism"
 )
 
-func TestListExitsClean(t *testing.T) {
+// TestListMatchesRegistry pins -list to the analyzer registry exactly:
+// one line per lint.All() entry, in registry order, each leading with the
+// analyzer name and carrying its one-line doc. A new analyzer that is
+// registered but missing from -list (or vice versa) fails here.
+func TestListMatchesRegistry(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("-list exit = %d, stderr: %s", code, errb.String())
 	}
-	for _, a := range lint.All() {
-		if !strings.Contains(out.String(), a.Name) {
-			t.Errorf("-list output missing analyzer %q:\n%s", a.Name, out.String())
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	all := lint.All()
+	if len(lines) != len(all) {
+		t.Fatalf("-list printed %d lines, registry has %d analyzers:\n%s", len(lines), len(all), out.String())
+	}
+	for i, a := range all {
+		fields := strings.Fields(lines[i])
+		if len(fields) == 0 || fields[0] != a.Name {
+			t.Errorf("line %d = %q, want it to lead with analyzer %q", i, lines[i], a.Name)
+			continue
+		}
+		if !strings.Contains(lines[i], a.Doc) {
+			t.Errorf("line %d for %q does not carry its doc %q:\n%s", i, a.Name, a.Doc, lines[i])
 		}
 	}
 }

@@ -36,8 +36,8 @@ type Suite struct {
 	scenario *Scenario
 
 	mu     sync.Mutex
-	runs   map[time.Duration]*cell[*Run]
-	infers map[time.Duration]*cell[inferVal]
+	runs   map[time.Duration]*cell[*Run]     //lint:guard mu
+	infers map[time.Duration]*cell[inferVal] //lint:guard mu
 }
 
 // inferVal pairs the two outputs of an inference slot.
@@ -55,10 +55,10 @@ type inferVal struct {
 // sync.Once behaviour.
 type cell[T any] struct {
 	mu   sync.Mutex
-	done chan struct{} // non-nil while computing or once settled
-	set  bool          // val/err are final
-	val  T
-	err  error
+	done chan struct{} //lint:guard mu — non-nil while computing or once settled
+	set  bool          //lint:guard mu — val/err are final
+	val  T             //lint:guard mu
+	err  error         //lint:guard mu
 }
 
 // get returns the cached value, computing it if this caller is elected
@@ -85,7 +85,9 @@ func (c *cell[T]) get(ctx context.Context, compute func() (T, error)) (T, error)
 			} else {
 				c.set, c.val, c.err = true, val, err
 			}
-			close(done)
+			// The sanctioned broadcast-under-mutex idiom: close never
+			// blocks, and followers must see set/val/err before they wake.
+			close(done) //lint:allow lockcheck close never blocks; followers must wake after the result is published
 			c.mu.Unlock()
 			return val, err
 		}

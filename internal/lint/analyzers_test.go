@@ -115,6 +115,26 @@ func TestGoLeakGolden(t *testing.T) {
 	checkGolden(t, "goleak", got)
 }
 
+// TestLockcheckGolden pins the guarded-field and blocking-under-lock
+// classes: explicit and inferred contracts firing, the fresh-alloc and
+// Locked-suffix exemptions staying silent, both allow grammars
+// (//lint:guard on fields, //lint:allow lockcheck on sites) consumed,
+// and a malformed guard directive reported.
+func TestLockcheckGolden(t *testing.T) {
+	got := runFixture(t, Lockcheck(), "lockcheck")
+	checkGolden(t, "lockcheck", got)
+}
+
+// TestLockOrderGolden is the acceptance case for the acquisition-order
+// graph: a seeded two-lock inversion is reported at both sites, each
+// message citing the other chain's coordinates; the interprocedural
+// variant carries call-chain evidence; a same-path re-lock reports a
+// self-deadlock; the consistently ordered pair stays silent.
+func TestLockOrderGolden(t *testing.T) {
+	got := runFixture(t, Lockcheck(), "lockorder")
+	checkGolden(t, "lockorder", got)
+}
+
 // TestTransitiveDeterminismGolden is the acceptance case for the
 // interprocedural determinism upgrade: a clock read reachable only
 // through a two-hop helper chain from the scoped package is flagged at

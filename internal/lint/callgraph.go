@@ -66,6 +66,73 @@ type callGraph struct {
 	nodes  []*funcNode            // deterministic: package, file, decl order
 	bySym  map[string]*funcNode   // symbol → node
 	byName map[string][]*funcNode // method name → concrete methods (CHA)
+
+	memoMu sync.Mutex
+	memos  map[string]*graphMemo
+}
+
+// graphMemo is one per-analyzer artifact cached on the graph across Run
+// calls, plus the //lint:allow directives its computation consumed.
+// Run resets every directive's used-mark up front, so a cache hit must
+// replay the marks the skipped collectors would have set — otherwise a
+// directive consumed only at summary level would surface as "unused"
+// from the second run on.
+type graphMemo struct {
+	value any
+	used  []*allow
+}
+
+// memo returns the cached artifact for key, computing it with build on
+// first use. Sound for anything derived only from the AST, the type
+// info, and the parsed directives — all immutable once loaded;
+// ResetLoadCache drops the graph (and these memos with it).
+func (g *callGraph) memo(key string, build func() any) any {
+	g.memoMu.Lock()
+	defer g.memoMu.Unlock()
+	if m, ok := g.memos[key]; ok {
+		for _, a := range m.used {
+			a.used = true
+		}
+		return m.value
+	}
+	allows := g.allAllows()
+	before := make([]bool, len(allows))
+	for i, a := range allows {
+		before[i] = a.used
+	}
+	m := &graphMemo{value: build()}
+	for i, a := range allows {
+		if a.used && !before[i] {
+			m.used = append(m.used, a)
+		}
+	}
+	if g.memos == nil {
+		g.memos = map[string]*graphMemo{}
+	}
+	g.memos[key] = m
+	return m.value
+}
+
+// allAllows gathers every directive across the graph's packages, in
+// node order, for the memo's used-mark bookkeeping.
+func (g *callGraph) allAllows() []*allow {
+	var out []*allow
+	seen := map[*Package]bool{}
+	for _, n := range g.nodes {
+		if seen[n.pkg] {
+			continue
+		}
+		seen[n.pkg] = true
+		out = append(out, n.pkg.allowList()...)
+	}
+	return out
+}
+
+// summariesFor memoises one analyzer's solved summaries on the graph:
+// the direct-fact collectors dominate a steady-state lint run's cost,
+// and their inputs never change while the load is cached.
+func (g *callGraph) summariesFor(key string, direct func(n *funcNode) (fact, map[fact]*evidence)) *summaries {
+	return g.memo(key, func() any { return solveSummaries(g, direct) }).(*summaries)
 }
 
 // HotpathDirective marks a function as allocation-free by contract: the
@@ -263,6 +330,8 @@ const (
 	factAlloc                    // allocates (hotpath contract violations)
 	factCtxJoin                  // blocks on a ctx.Done() receive
 	factWGDone                   // calls (*sync.WaitGroup).Done
+	factBlock                    // reaches a blocking op (chan send/recv/select, Wait, HTTP write)
+	factMuAcquire                // acquires a sync.Mutex/RWMutex somewhere downstream
 )
 
 // evidence is one direct site justifying a fact: where, and what it is

@@ -132,7 +132,7 @@ func isWallClockUse(pkg *Package, id *ast.Ident) bool {
 // so each laundering boundary is reported exactly once.
 func reportTransitiveDeterminism(pass *ModulePass, paths []string) {
 	g := graphFor(pass.Pkgs)
-	sums := solveSummaries(g, determinismFacts)
+	sums := g.summariesFor("determinism", determinismFacts)
 	for _, n := range g.nodes {
 		if !pathMatches(n.pkg.ImportPath, paths) {
 			continue

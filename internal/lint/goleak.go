@@ -30,7 +30,7 @@ func GoLeak() *Analyzer {
 	}
 	a.RunModule = func(pass *ModulePass) {
 		g := graphFor(pass.Pkgs)
-		sums := solveSummaries(g, goleakFacts)
+		sums := g.summariesFor("goleak", goleakFacts)
 		for _, pkg := range pass.Pkgs {
 			for _, f := range pkg.Files {
 				inspectWithStack(f, func(n ast.Node, stack []ast.Node) {

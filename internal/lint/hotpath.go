@@ -24,7 +24,7 @@ func Hotpath() *Analyzer {
 	}
 	a.RunModule = func(pass *ModulePass) {
 		g := graphFor(pass.Pkgs)
-		sums := solveSummaries(g, hotpathFacts)
+		sums := g.summariesFor("hotpath", hotpathFacts)
 		for _, n := range g.nodes {
 			if !n.hotpath {
 				continue

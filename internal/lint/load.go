@@ -35,6 +35,11 @@ type Package struct {
 	// pass per function.
 	flows map[ast.Node]*flow
 
+	// lockFlows caches lockcheck's per-unit must-held solutions (see
+	// lockcheck.go) the same way: they derive only from the AST and the
+	// type info, both immutable once loaded.
+	lockFlows map[ast.Node]*lockFlow
+
 	// allows caches the parsed //lint:allow directives (see allowList);
 	// analyzers consume them as summary exemptions and the driver as
 	// call-site suppressions, against the same used-tracking.

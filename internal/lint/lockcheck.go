@@ -1,0 +1,1621 @@
+// lockcheck is the lock-discipline analyzer: the one concurrency
+// contract family the race detector cannot see (deadlocks and
+// lock-order inversions that never fire in tests) plus the one it only
+// sees when the schedule cooperates (unguarded field access). Three
+// checks share one intraprocedural must-held-lockset analysis over the
+// CFGs from cfg.go and the interprocedural summaries from callgraph.go:
+//
+//  1. Guarded fields. For every struct with a sync.Mutex/RWMutex
+//     field, sibling fields annotated `//lint:guard mu` must only be
+//     accessed with that mutex held; unannotated fields whose accesses
+//     are mostly locked (at least two locked accesses, strictly more
+//     locked than unlocked) have the contract inferred, and the odd
+//     unlocked access out is flagged. Accesses to a value the function
+//     just allocated are exempt (the constructor idiom), and a method
+//     whose name ends in "Locked" is assumed to hold its receiver's
+//     mutexes on entry — the convention jobRegistry.evictLocked and
+//     job.broadcastLocked already follow.
+//  2. Acquisition order. A module-wide lock-order graph: an edge A → B
+//     for every site that acquires class B (directly, or anywhere in a
+//     callee, via the acquire-set fixpoint) while holding class A. Any
+//     cycle is a deadlock waiting for the right interleaving; each
+//     in-cycle edge is reported at its acquisition site with both
+//     evidence chains. Re-locking the very path already held is
+//     reported as a self-deadlock. Lock classes are declaration-keyed:
+//     "pkg.Type.field" for struct mutexes, "pkg.var" for package-level
+//     locks, "pkg.Func.var" for locals. TryLock is modelled as an
+//     acquisition (its success branch is the interesting one).
+//  3. Blocking under a held lock. Channel send/receive/select/close,
+//     ctx.Done() waits, time.Sleep, WaitGroup/Cond waits, writes to an
+//     http.ResponseWriter, and calls whose summary reaches any of
+//     those (factBlock) are flagged while a lock is held. Justified
+//     sites — the broadcast-under-mutex-via-close idiom — carry
+//     `//lint:allow lockcheck <reason>`; a site-level allow also keeps
+//     the blocking fact out of the function's summary, and a
+//     declaration-line allow exempts the whole function.
+//
+// Deliberate limits, all erring toward silence rather than noise:
+// function literals analyse with an empty entry lockset (a closure may
+// run anywhere); statements under defer are ignored (they run at exit,
+// interleaved with deferred unlocks); and cross-instance reacquisition
+// of one class (hand-over-hand locking) only feeds the order graph
+// when a call reaches it, not for direct sibling locks.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// GuardDirective declares a struct field's lock contract explicitly:
+// `//lint:guard mu` on the field line (or in its doc comment) requires
+// every access to hold the sibling mutex field named mu.
+const GuardDirective = "//lint:guard"
+
+// Lockcheck returns the lock-discipline analyzer.
+func Lockcheck() *Analyzer {
+	a := &Analyzer{
+		Name: "lockcheck",
+		Doc:  "lock discipline: guarded-field contracts, global acquisition order, no blocking under a held lock",
+	}
+	a.RunModule = func(pass *ModulePass) {
+		g := graphFor(pass.Pkgs)
+		solved := g.memo("lockcheck", func() any {
+			direct := make(map[*funcNode]*lockDirect, len(g.nodes))
+			ldw := &lockDirectWalker{}
+			for _, n := range g.nodes {
+				direct[n] = ldw.collect(n)
+			}
+			declMention := make(map[*ast.FuncDecl]bool, len(g.nodes))
+			for _, n := range g.nodes {
+				declMention[n.decl] = direct[n].mention
+			}
+			return &lockSolved{
+				sums: solveSummaries(g, func(n *funcNode) (fact, map[fact]*evidence) {
+					d := direct[n]
+					return d.f, d.ev
+				}),
+				acq:         solveAcquires(g, direct),
+				declMention: declMention,
+			}
+		}).(*lockSolved)
+		specs, guardFields := collectGuardSpecs(pass)
+		lc := &lockChecker{
+			pass:        pass,
+			g:           g,
+			sums:        solved.sums,
+			acq:         solved.acq,
+			specs:       specs,
+			guardFields: guardFields,
+			declMention: solved.declMention,
+			recvCache:   map[types.Type]recvInfo{},
+			edges:       map[[2]string]*lockEdge{},
+		}
+		for _, pkg := range pass.Pkgs {
+			for _, f := range pkg.Files {
+				lc.walkFile(pkg, f)
+			}
+		}
+		lc.reportGuards()
+		lc.reportCycles()
+	}
+	return a
+}
+
+// ---------------------------------------------------------------------
+// Guard specs: which fields are guarded by which mutex, per struct.
+
+// guardKey identifies a struct across the module: the string
+// "pkgpath.TypeName" for named structs, the *types.Struct itself for
+// anonymous ones (package-level vars like lint's own loadCache).
+type guardKey any
+
+// guardSpec is the lock layout of one struct type.
+type guardSpec struct {
+	display  string            // "serve.job" for diagnostics
+	mutexes  map[string]bool   // mutex field name → declared
+	embedded map[string]bool   // mutex field name → embedded (promoted Lock)
+	explicit map[string]string // guarded field → mutex field, from //lint:guard
+	order    []string          // sorted mutex names, lazily cached
+}
+
+// mutexOrder returns the struct's mutex field names in sorted order,
+// computed once — heldCovers runs per candidate access.
+func (s *guardSpec) mutexOrder() []string {
+	if s.order == nil {
+		s.order = sortedKeys(s.mutexes)
+	}
+	return s.order
+}
+
+// mutexTypeName returns "Mutex" or "RWMutex" when t (pointer-stripped)
+// is the corresponding sync type, else "".
+func mutexTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return ""
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// structKeyOf resolves the struct a field selection lands on: its
+// guardKey, a short display name, and the underlying struct type.
+func structKeyOf(pkg *Package, recv types.Type) (guardKey, string, *types.Struct) {
+	t := recv
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			return nil, "", nil
+		}
+		obj := named.Obj()
+		disp := obj.Name()
+		key := disp
+		if obj.Pkg() != nil {
+			key = obj.Pkg().Path() + "." + disp
+			disp = obj.Pkg().Name() + "." + disp
+		}
+		return key, disp, st
+	}
+	if st, ok := t.(*types.Struct); ok {
+		return st, pkg.Name + ".(struct)", st
+	}
+	return nil, "", nil
+}
+
+// structMutexes lists the sync.Mutex/RWMutex fields of st.
+func structMutexes(st *types.Struct) (mutexes, embedded map[string]bool) {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if mutexTypeName(f.Type()) == "" {
+			continue
+		}
+		if mutexes == nil {
+			mutexes, embedded = map[string]bool{}, map[string]bool{}
+		}
+		mutexes[f.Name()] = true
+		if f.Embedded() {
+			embedded[f.Name()] = true
+		}
+	}
+	return mutexes, embedded
+}
+
+// collectGuardSpecs walks every top-level named struct type in the
+// module, records its mutex layout and //lint:guard contracts, and
+// reports malformed directives (unknown mutex name, struct without a
+// mutex). Lock-guarded state lives in named types by convention — an
+// anonymous or function-local struct cannot carry a guard contract.
+// The second result is the set of field names belonging to any
+// mutex-bearing struct: a free syntactic pre-filter for the selector
+// walk, which would otherwise pay a type lookup per selector
+// module-wide.
+func collectGuardSpecs(pass *ModulePass) (map[guardKey]*guardSpec, map[string]bool) {
+	specs := map[guardKey]*guardSpec{}
+	fields := map[string]bool{}
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			collectFileGuards(pass, pkg, f, specs, fields)
+		}
+	}
+	return specs, fields
+}
+
+func collectFileGuards(pass *ModulePass, pkg *Package, f *ast.File, specs map[guardKey]*guardSpec, fields map[string]bool) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.TYPE {
+			continue
+		}
+		for _, s := range gd.Specs {
+			ts, ok := s.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				continue
+			}
+			obj := pkg.Info.Defs[ts.Name]
+			if obj == nil {
+				continue
+			}
+			key, display, stT := structKeyOf(pkg, obj.Type())
+			if key == nil {
+				continue
+			}
+			mutexes, embedded := structMutexes(stT)
+			if len(mutexes) == 0 {
+				// No spec entry for lock-free structs — the selector
+				// walk never needs one. Directives on them are still
+				// malformed and still reported.
+				for _, field := range st.Fields.List {
+					if _, pos, ok := fieldGuardDirective(field); ok {
+						pass.Reportf(pos, "%s on a field of %s, which has no sync.Mutex/RWMutex field", GuardDirective, display)
+					}
+				}
+				continue
+			}
+			spec := specs[key]
+			if spec == nil {
+				spec = &guardSpec{display: display, mutexes: mutexes, embedded: embedded, explicit: map[string]string{}}
+				specs[key] = spec
+			}
+			for i := 0; i < stT.NumFields(); i++ {
+				fields[stT.Field(i).Name()] = true
+			}
+			for _, field := range st.Fields.List {
+				name, pos, ok := fieldGuardDirective(field)
+				if !ok {
+					continue
+				}
+				switch {
+				case !mutexes[name]:
+					pass.Reportf(pos, "%s names %q, which is not a sync.Mutex/RWMutex field of %s (have %s)", GuardDirective, name, display, joinSorted(mutexes))
+				case len(field.Names) == 0:
+					pass.Reportf(pos, "%s cannot guard an embedded field", GuardDirective)
+				default:
+					for _, id := range field.Names {
+						spec.explicit[id.Name] = name
+					}
+				}
+			}
+		}
+	}
+}
+
+// fieldGuardDirective extracts the mutex name of a //lint:guard
+// directive on a struct field (doc comment or same-line comment).
+func fieldGuardDirective(field *ast.Field) (name string, pos token.Pos, ok bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			rest, found := strings.CutPrefix(c.Text, GuardDirective)
+			if !found || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				return "", c.Pos(), true // malformed: reported as unknown ""
+			}
+			return fields[0], c.Pos(), true
+		}
+	}
+	return "", token.NoPos, false
+}
+
+func joinSorted(set map[string]bool) string {
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// ---------------------------------------------------------------------
+// Must-held lockset analysis over one function's CFG.
+
+// heldLock is one lock known to be held at a program point.
+type heldLock struct {
+	path    string // instance path in this function, e.g. "j.mu"
+	class   string // module-wide class key, e.g. "because/internal/serve.job.mu"
+	display string // short class render, e.g. "serve.job.mu"
+	pos     token.Pos
+}
+
+// lockOp is one acquire/release event inside a basic block.
+type lockOp struct {
+	pos     token.Pos
+	acquire bool
+	lock    heldLock
+}
+
+// lockFlow is the solved must-held problem for one function unit
+// (declaration or literal): in[i] is the lockset at entry of block i,
+// nil meaning "top" (not yet reached / unreachable). A unit with no
+// mutex operations and an empty entry lockset is trivial: no CFG is
+// built and every position trivially holds nothing — the fast path
+// almost every function in the module takes.
+type lockFlow struct {
+	trivial bool
+	g       *funcCFG
+	ops     map[int][]lockOp
+	in      []map[string]heldLock
+}
+
+// emptyHeld is the shared answer for trivial units; callers never
+// mutate a heldAt result.
+var emptyHeld = map[string]heldLock{}
+
+// trivialFlow is the shared solution for units that hold no lock at
+// entry and contain no mutex operation — the vast majority.
+var trivialFlow = &lockFlow{trivial: true}
+
+// heldAt returns the locks held just before pos (nil when the position
+// is unreachable or outside the body).
+func (lf *lockFlow) heldAt(pos token.Pos) map[string]heldLock {
+	if lf.trivial {
+		return emptyHeld
+	}
+	blk, _ := lf.g.blockAt(pos)
+	if blk == nil || lf.in[blk.index] == nil {
+		return nil
+	}
+	base := lf.in[blk.index]
+	ops := lf.ops[blk.index]
+	n := 0
+	for n < len(ops) && ops[n].pos < pos {
+		n++
+	}
+	if n == 0 {
+		// No lock ops between block entry and pos: the in-state is the
+		// answer, and callers never mutate it — no copy needed.
+		return base
+	}
+	held := make(map[string]heldLock, len(base))
+	for k, v := range base {
+		held[k] = v
+	}
+	for _, op := range ops[:n] {
+		applyLockOp(held, op)
+	}
+	return held
+}
+
+func applyLockOp(held map[string]heldLock, op lockOp) {
+	if op.acquire {
+		held[op.lock.path] = op.lock
+	} else {
+		delete(held, op.lock.path)
+	}
+}
+
+// lockFlowFor builds the must-held solution for unit, a FuncDecl or
+// FuncLit inside decl (the enclosing declaration, used to name local
+// lock classes and for the Locked-suffix entry assumption). Solutions
+// are cached on the Package — like flowFor's dataflow — because they
+// derive only from the immutable AST and type info.
+func (lc *lockChecker) lockFlowFor(pkg *Package, unit ast.Node, decl *ast.FuncDecl) *lockFlow {
+	if lf, ok := pkg.lockFlows[unit]; ok {
+		return lf
+	}
+	if pkg.lockFlows == nil {
+		pkg.lockFlows = map[ast.Node]*lockFlow{}
+	}
+	entry := entryHeld(pkg, unit, decl)
+	if len(entry) == 0 {
+		// The decl-level mention bit from the fact walk answers for
+		// most units without another subtree probe; only literals
+		// inside mutex-touching declarations need the per-unit scan.
+		trivial := false
+		switch m, known := lc.declMention[decl]; {
+		case known && !m:
+			trivial = true
+		case known && unit == decl:
+			trivial = false
+		default:
+			trivial = !mentionsMutexOp(&lc.mention, unit)
+		}
+		if trivial {
+			pkg.lockFlows[unit] = trivialFlow
+			return trivialFlow
+		}
+	}
+	if entry == nil {
+		entry = map[string]heldLock{}
+	}
+	body, _ := funcParts(unit)
+	g := buildCFG(body)
+	lf := &lockFlow{g: g, ops: map[int][]lockOp{}, in: make([]map[string]heldLock, len(g.blocks))}
+	for _, blk := range g.blocks {
+		var ops []lockOp
+		for _, n := range blk.nodes {
+			ops = append(ops, collectLockOps(pkg, n, declName(decl))...)
+		}
+		sort.SliceStable(ops, func(i, j int) bool { return ops[i].pos < ops[j].pos })
+		lf.ops[blk.index] = ops
+	}
+	lf.solve(entry)
+	pkg.lockFlows[unit] = lf
+	return lf
+}
+
+// mutexMentionWalker is the syntactic pre-filter for the trivial fast
+// path: does the unit mention any selector that could be a mutex
+// acquire/release? No type information — a false positive just costs
+// one CFG build; a miss is impossible because collectLockOps only
+// recognises these method names. A reusable visitor rather than a
+// closure so the per-unit probe does not allocate.
+type mutexMentionWalker struct{ found bool }
+
+func (v *mutexMentionWalker) Visit(n ast.Node) ast.Visitor {
+	if v.found {
+		return nil
+	}
+	if sel, ok := n.(*ast.SelectorExpr); ok {
+		switch sel.Sel.Name {
+		case "Lock", "RLock", "TryLock", "TryRLock", "Unlock", "RUnlock":
+			v.found = true
+			return nil
+		}
+	}
+	return v
+}
+
+func mentionsMutexOp(probe *mutexMentionWalker, unit ast.Node) bool {
+	probe.found = false
+	ast.Walk(probe, unit)
+	return probe.found
+}
+
+func declName(decl *ast.FuncDecl) string {
+	if decl == nil {
+		return "func"
+	}
+	return decl.Name.Name
+}
+
+// entryHeld is the lockset assumed on entry: for a method whose name
+// ends in "Locked", every mutex field of its (named) receiver.
+func entryHeld(pkg *Package, unit ast.Node, decl *ast.FuncDecl) map[string]heldLock {
+	if unit != decl || decl == nil || decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return nil
+	}
+	if !strings.HasSuffix(decl.Name.Name, "Locked") {
+		return nil
+	}
+	names := decl.Recv.List[0].Names
+	if len(names) == 0 || names[0].Name == "_" {
+		return nil
+	}
+	recv, ok := pkg.Info.Defs[names[0]].(*types.Var)
+	if !ok {
+		return nil
+	}
+	key, display, st := structKeyOf(pkg, recv.Type())
+	if st == nil {
+		return nil
+	}
+	mutexes, embedded := structMutexes(st)
+	held := make(map[string]heldLock, len(mutexes))
+	base := names[0].Name
+	for m := range mutexes {
+		path := base + "." + m
+		if embedded[m] {
+			path = base
+		}
+		class, disp := display+"."+m, display+"."+m
+		if s, ok := key.(string); ok {
+			class = s + "." + m
+		}
+		held[path] = heldLock{path: path, class: class, display: disp, pos: decl.Name.Pos()}
+	}
+	return held
+}
+
+// collectLockOps extracts mutex acquire/release calls from one block
+// node, skipping defers (they run at exit) and nested function
+// literals (their bodies have their own lockFlow).
+func collectLockOps(pkg *Package, n ast.Node, enclosing string) []lockOp {
+	var ops []lockOp
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.DeferStmt, *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			x, method := mutexOp(pkg, node)
+			if x == nil {
+				return true
+			}
+			path := exprPath(x)
+			if path == "" {
+				return true
+			}
+			class, display := lockClass(pkg, x, enclosing)
+			op := lockOp{
+				pos:     node.Pos(),
+				acquire: method == "Lock" || method == "RLock" || method == "TryLock" || method == "TryRLock",
+				lock:    heldLock{path: path, class: class, display: display, pos: node.Pos()},
+			}
+			ops = append(ops, op)
+		}
+		return true
+	})
+	return ops
+}
+
+// mutexOp returns the receiver expression and method name when call is
+// a sync.Mutex/RWMutex lock-family method call.
+func mutexOp(pkg *Package, call *ast.CallExpr) (ast.Expr, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	switch sel.Sel.Name { // syntactic pre-filter before the Uses lookup
+	case "Lock", "RLock", "TryLock", "TryRLock", "Unlock", "RUnlock":
+	default:
+		return nil, ""
+	}
+	fn, _ := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, ""
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil || mutexTypeName(sig.Recv().Type()) == "" {
+		return nil, ""
+	}
+	return sel.X, fn.Name()
+}
+
+// lockClass names the module-wide class of the lock expression x
+// ("j.mu" → "pkgpath.job.mu"): struct mutex fields key by their
+// declaring type, package-level vars by the var, locals by enclosing
+// function. Unresolvable expressions return "".
+func lockClass(pkg *Package, x ast.Expr, enclosing string) (class, display string) {
+	if sel, ok := ast.Unparen(x).(*ast.SelectorExpr); ok {
+		if s := pkg.Info.Selections[sel]; s != nil && s.Kind() == types.FieldVal {
+			if key, disp, _ := structKeyOf(pkg, s.Recv()); key != nil {
+				if sKey, ok := key.(string); ok {
+					return sKey + "." + sel.Sel.Name, disp + "." + sel.Sel.Name
+				}
+			}
+		}
+		// Anonymous-struct field (package-level var like loadCache.mu) or
+		// qualified package var (pkg.Mu): fall back to the base identifier.
+		base, _ := ast.Unparen(baseIdent(sel)).(*ast.Ident)
+		if base == nil {
+			return "", ""
+		}
+		return identClass(pkg, base, exprPath(x), enclosing)
+	}
+	if id, ok := ast.Unparen(x).(*ast.Ident); ok {
+		return identClass(pkg, id, id.Name, enclosing)
+	}
+	return "", ""
+}
+
+func baseIdent(e ast.Expr) ast.Expr {
+	for {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return e
+		}
+		e = sel.X
+	}
+}
+
+func identClass(pkg *Package, id *ast.Ident, path, enclosing string) (string, string) {
+	v, _ := pkg.Info.Uses[id].(*types.Var)
+	if v == nil {
+		return "", ""
+	}
+	vpkg := v.Pkg()
+	if vpkg == nil {
+		return "", ""
+	}
+	if v.Parent() == vpkg.Scope() { // package-level var
+		return vpkg.Path() + "." + path, vpkg.Name() + "." + path
+	}
+	return vpkg.Path() + "." + enclosing + "." + path, vpkg.Name() + "." + enclosing + "." + path
+}
+
+// solve runs the forward must-analysis: in[b] is the intersection of
+// every predecessor's out-set; nil is top (identity for intersection).
+func (lf *lockFlow) solve(entry map[string]heldLock) {
+	preds := make([][]int, len(lf.g.blocks))
+	for _, blk := range lf.g.blocks {
+		for _, s := range blk.succs {
+			preds[s.index] = append(preds[s.index], blk.index)
+		}
+	}
+	lf.in[lf.g.entry.index] = entry
+	out := func(i int) map[string]heldLock {
+		if lf.in[i] == nil {
+			return nil
+		}
+		o := make(map[string]heldLock, len(lf.in[i]))
+		for k, v := range lf.in[i] {
+			o[k] = v
+		}
+		for _, op := range lf.ops[i] {
+			applyLockOp(o, op)
+		}
+		return o
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range lf.g.blocks {
+			if blk.index == lf.g.entry.index {
+				continue
+			}
+			var newIn map[string]heldLock
+			top := true
+			for _, p := range preds[blk.index] {
+				po := out(p)
+				if po == nil {
+					continue
+				}
+				if top {
+					newIn, top = po, false
+					continue
+				}
+				for k := range newIn {
+					if _, ok := po[k]; !ok {
+						delete(newIn, k)
+					}
+				}
+			}
+			if top {
+				continue
+			}
+			if !heldEqual(lf.in[blk.index], newIn) {
+				lf.in[blk.index] = newIn
+				changed = true
+			}
+		}
+	}
+}
+
+func heldEqual(a, b map[string]heldLock) bool {
+	if a == nil || len(a) != len(b) {
+		return a == nil && b == nil
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedHeld renders a held-set deterministically, innermost (latest
+// acquisition) first.
+func sortedHeld(held map[string]heldLock) []heldLock {
+	out := make([]heldLock, 0, len(held))
+	for _, h := range held {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].pos != out[j].pos {
+			return out[i].pos > out[j].pos
+		}
+		return out[i].path < out[j].path
+	})
+	return out
+}
+
+// ---------------------------------------------------------------------
+// The per-file walk: field accesses, blocking sites, order edges.
+
+// fieldAccess is one access to a non-mutex field of a mutex-bearing
+// struct, with its lock status at that point.
+type fieldAccess struct {
+	key    guardKey
+	field  string
+	base   string // receiver path ("j"), "" when unresolvable
+	disp   string // full access render ("j.state")
+	pkg    *Package
+	pos    token.Pos
+	locked bool
+	fresh  bool // base allocated in this function (constructor idiom)
+	mutex  string
+}
+
+// lockEdge is one acquisition-order edge with its first evidence.
+type lockEdge struct {
+	from, to heldLock
+	pkg      *Package
+	pos      token.Pos // where `to` is acquired (or the call reaching it)
+	via      *funcNode // non-nil when acquired inside a callee
+	viaClass string
+}
+
+// lockSolved bundles the interprocedural artifacts lockcheck memoises
+// on the call graph across Run calls: blocking summaries, acquisition
+// sets, and the per-decl mutex-mention bit (see callGraph.memo).
+type lockSolved struct {
+	sums        *summaries
+	acq         *acquireSets
+	declMention map[*ast.FuncDecl]bool
+}
+
+type lockChecker struct {
+	pass        *ModulePass
+	g           *callGraph
+	sums        *summaries
+	acq         *acquireSets
+	specs       map[guardKey]*guardSpec
+	guardFields map[string]bool // field names of mutex-bearing structs
+	declMention map[*ast.FuncDecl]bool
+	recvCache   map[types.Type]recvInfo
+	edges       map[[2]string]*lockEdge
+	accesses    []fieldAccess
+	mention     mutexMentionWalker // reusable trivial-flow probe
+}
+
+// recvInfo memoises structKeyOf + spec lookup per receiver type: the
+// same few struct types account for nearly every candidate selector.
+type recvInfo struct {
+	key  guardKey
+	spec *guardSpec
+}
+
+func (lc *lockChecker) walkFile(pkg *Package, f *ast.File) {
+	w := &unitWalker{lc: lc, pkg: pkg}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			w.decl = fd
+			w.enter(fd, fd.Body)
+		}
+	}
+}
+
+// unitWalker visits lockset units — declaration bodies and nested
+// function literals — as a reusable ast.Visitor: one instance serves a
+// whole file, so the walk allocates nothing per function. The enclosing
+// unit and its flow are fields saved and restored around each nested
+// unit instead of being re-derived per node from an ancestor stack.
+// Deferred calls are skipped (deferred work runs at exit, after this
+// body's unlocks), but a function literal inside a defer is still its
+// own unit and gets walked.
+type unitWalker struct {
+	lc      *lockChecker
+	pkg     *Package
+	decl    *ast.FuncDecl
+	unit    ast.Node
+	lf      *lockFlow
+	commOps map[ast.Node]bool // select comm statements seen so far
+}
+
+// enter walks body as the unit's scope, restoring the previous unit
+// context afterwards.
+func (w *unitWalker) enter(unit ast.Node, body *ast.BlockStmt) {
+	prevUnit, prevLf := w.unit, w.lf
+	w.unit = unit
+	w.lf = w.lc.lockFlowFor(w.pkg, unit, w.decl)
+	ast.Walk(w, body)
+	w.unit, w.lf = prevUnit, prevLf
+}
+
+func (w *unitWalker) Visit(node ast.Node) ast.Visitor {
+	lc, pkg, lf := w.lc, w.pkg, w.lf
+	switch n := node.(type) {
+	case *ast.DeferStmt:
+		ast.Inspect(n.Call, func(c ast.Node) bool {
+			if lit, ok := c.(*ast.FuncLit); ok {
+				w.enter(lit, lit.Body)
+				return false
+			}
+			return true
+		})
+		return nil
+	case *ast.FuncLit:
+		w.enter(n, n.Body)
+		return nil
+	case *ast.SelectorExpr:
+		lc.recordFieldAccess(pkg, n, w.unit, lf)
+	case *ast.SendStmt:
+		if !lf.trivial && !w.commOps[n] {
+			lc.reportBlocking(pkg, n.Pos(), "channel send", lf.heldAt(n.Pos()))
+		}
+	case *ast.UnaryExpr:
+		if lf.trivial || n.Op != token.ARROW || w.commOps[n] {
+			return w
+		}
+		desc := "channel receive"
+		if recvIsCtxDone(pkg, n) {
+			desc = "wait on ctx.Done()"
+		}
+		lc.reportBlocking(pkg, n.Pos(), desc, lf.heldAt(n.Pos()))
+	case *ast.SelectStmt:
+		// Pre-order guarantees the select is seen before its comm
+		// statements: mark them now so they do not double-report.
+		if w.commOps == nil {
+			w.commOps = map[ast.Node]bool{}
+		}
+		markCommOps(n, w.commOps)
+		if lf.trivial {
+			return w
+		}
+		// The select statement itself is not a CFG node (its comm
+		// clauses are): probe the lockset at the first clause, which
+		// inherits the head block's out-state.
+		h := lf.heldAt(n.Pos())
+		for _, cl := range n.Body.List {
+			if h != nil {
+				break
+			}
+			if comm := cl.(*ast.CommClause).Comm; comm != nil {
+				h = lf.heldAt(comm.Pos())
+			}
+		}
+		lc.reportBlocking(pkg, n.Pos(), "select", h)
+	case *ast.CallExpr:
+		lc.checkCall(pkg, n, w.decl, lf)
+	}
+	return w
+}
+
+func recvIsCtxDone(pkg *Package, un *ast.UnaryExpr) bool {
+	call, ok := ast.Unparen(un.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Done" && isContextValue(pkg, sel.X)
+}
+
+// recordFieldAccess files a guarded-field candidate: a direct field
+// selection on a struct that carries a mutex, excluding the mutex
+// fields themselves.
+func (lc *lockChecker) recordFieldAccess(pkg *Package, sel *ast.SelectorExpr, unit ast.Node, lf *lockFlow) {
+	// Syntactic gate: only field names of mutex-bearing structs can be
+	// guard candidates, and most selectors module-wide are not.
+	if !lc.guardFields[sel.Sel.Name] {
+		return
+	}
+	s := pkg.Info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal || len(s.Index()) != 1 {
+		return
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	info, ok := lc.recvCache[t]
+	if !ok {
+		if key, _, _ := structKeyOf(pkg, t); key != nil {
+			info = recvInfo{key: key, spec: lc.specs[key]}
+		}
+		lc.recvCache[t] = info
+	}
+	spec := info.spec
+	if spec == nil || len(spec.mutexes) == 0 {
+		return
+	}
+	key := info.key
+	field := sel.Sel.Name
+	if spec.mutexes[field] || mutexTypeName(s.Obj().Type()) != "" {
+		return
+	}
+	base := exprPath(sel.X)
+	a := fieldAccess{
+		key:   key,
+		field: field,
+		base:  base,
+		disp:  field,
+		pkg:   pkg,
+		pos:   sel.Sel.Pos(),
+	}
+	if base != "" {
+		a.disp = base + "." + field
+		a.locked, a.mutex = heldCovers(lf.heldAt(sel.Pos()), base, spec)
+		a.fresh = lc.baseIsFresh(pkg, sel, unit)
+	}
+	lc.accesses = append(lc.accesses, a)
+}
+
+// heldCovers reports whether any of the struct's mutexes is held for
+// the given receiver path, and which one.
+func heldCovers(held map[string]heldLock, base string, spec *guardSpec) (bool, string) {
+	if len(held) == 0 {
+		return false, ""
+	}
+	for _, m := range spec.mutexOrder() {
+		path := base + "." + m
+		if spec.embedded[m] {
+			path = base
+		}
+		if _, ok := held[path]; ok {
+			return true, m
+		}
+	}
+	return false, ""
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// baseIsFresh reports whether the access base is a local variable whose
+// every reaching definition allocates the value in this function — the
+// constructor idiom, where no other goroutine can see the struct yet.
+func (lc *lockChecker) baseIsFresh(pkg *Package, sel *ast.SelectorExpr, unit ast.Node) bool {
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v, _ := pkg.Info.Uses[id].(*types.Var)
+	if v == nil {
+		return false
+	}
+	fl := pkg.flowFor(unit)
+	if fl.hasEntryDef(v) {
+		return false
+	}
+	defs := fl.defsAt(v, sel.Pos())
+	if len(defs) == 0 {
+		return false
+	}
+	for _, d := range defs {
+		if d.kind != defAssign || !allocExpr(d.rhs) {
+			return false
+		}
+	}
+	return true
+}
+
+// allocExpr recognises fresh-allocation right-hand sides: composite
+// literals (possibly behind &) and new(T).
+func allocExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		return e.Op == token.AND && allocExpr(e.X)
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(e.Fun).(*ast.Ident)
+		return ok && id.Name == "new"
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------
+// Call sites: blocking, Locked-suffix discipline, order edges.
+
+func (lc *lockChecker) checkCall(pkg *Package, call *ast.CallExpr, decl *ast.FuncDecl, lf *lockFlow) {
+	if lf.trivial {
+		// Nothing is ever held here and there are no mutex ops, so the
+		// only check with teeth is the Locked-suffix caller contract.
+		lc.checkLockedSuffixCall(pkg, call, emptyHeld)
+		return
+	}
+	// Direct blocking calls first.
+	if desc := directBlockingCall(pkg, call); desc != "" {
+		lc.reportBlocking(pkg, call.Pos(), desc, lf.heldAt(call.Pos()))
+		return
+	}
+	if x, method := mutexOp(pkg, call); x != nil {
+		if method == "Unlock" || method == "RUnlock" {
+			return
+		}
+		lc.checkAcquire(pkg, call, x, decl, lf.heldAt(call.Pos()))
+		return
+	}
+	h := lf.heldAt(call.Pos())
+	lc.checkLockedSuffixCall(pkg, call, h)
+	if len(h) == 0 {
+		return
+	}
+	for _, callee := range lc.g.calleesOf(pkg, call) {
+		// Skip self-resolution (direct recursion, or CHA matching an
+		// interface call back to the enclosing method, the lockedImporter
+		// pattern): mirrors the summary solver's self-edge skip.
+		if callee.decl == decl {
+			continue
+		}
+		if lc.reportCallEffects(pkg, call, callee, h) {
+			break
+		}
+	}
+}
+
+// checkAcquire handles a direct Lock/RLock while other locks are held:
+// re-locking the same path is a self-deadlock; every (held → acquired)
+// class pair feeds the order graph.
+func (lc *lockChecker) checkAcquire(pkg *Package, call *ast.CallExpr, x ast.Expr, decl *ast.FuncDecl, held map[string]heldLock) {
+	path := exprPath(x)
+	if path == "" {
+		return
+	}
+	if prev, ok := held[path]; ok {
+		pos := pkg.Fset.Position(prev.pos)
+		lc.pass.Reportf(call.Pos(), "%s is locked again while already held (acquired at %s:%d): self-deadlock", path, shortFile(pos.Filename), pos.Line)
+		return
+	}
+	class, display := lockClass(pkg, x, declName(decl))
+	if class == "" {
+		return
+	}
+	to := heldLock{path: path, class: class, display: display, pos: call.Pos()}
+	for _, h := range sortedHeld(held) {
+		if h.class == class {
+			continue // cross-instance same-class nesting (hand-over-hand): out of scope
+		}
+		lc.addEdge(pkg, h, to, call.Pos(), nil, "")
+	}
+}
+
+// reportCallEffects flags a call made under a held lock whose callee
+// summary blocks, and feeds callee acquisitions into the order graph.
+// Returns true when a blocking diagnostic was emitted (one per site).
+func (lc *lockChecker) reportCallEffects(pkg *Package, call *ast.CallExpr, callee *funcNode, held map[string]heldLock) bool {
+	if !lc.sums.has(callee, factMuAcquire) && !lc.sums.has(callee, factBlock) {
+		return false // fast path: the callee's summary is lock-silent
+	}
+	hs := sortedHeld(held)
+	for _, class := range lc.acq.classesOf(callee) {
+		for _, h := range hs {
+			if h.class == class.class {
+				lc.pass.Reportf(call.Pos(), "call to %s while holding %s may acquire %s again (%s): lock-class reentry deadlocks unless instances are provably distinct", callee.shortName(), h.path, class.display, lc.acq.explain(callee, class.class))
+				continue
+			}
+			lc.addEdge(pkg, h, heldLock{class: class.class, display: class.display, pos: call.Pos()}, call.Pos(), callee, class.class)
+		}
+	}
+	if lc.sums.has(callee, factBlock) {
+		lc.pass.Reportf(call.Pos(), "call to %s while holding %s reaches a blocking operation (%s): move it outside the critical section, or annotate //lint:allow lockcheck with why it cannot block", callee.shortName(), hs[0].path, lc.sums.explain(callee, factBlock))
+		return true
+	}
+	return false
+}
+
+// checkLockedSuffixCall enforces the naming convention from the other
+// side: calling a *Locked method requires holding the receiver's mutex.
+func (lc *lockChecker) checkLockedSuffixCall(pkg *Package, call *ast.CallExpr, held map[string]heldLock) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !strings.HasSuffix(sel.Sel.Name, "Locked") {
+		return
+	}
+	fn, _ := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return
+	}
+	_, _, st := structKeyOf(pkg, sig.Recv().Type())
+	if st == nil {
+		return
+	}
+	mutexes, embedded := structMutexes(st)
+	if len(mutexes) == 0 {
+		return
+	}
+	base := exprPath(sel.X)
+	if base == "" {
+		return
+	}
+	spec := &guardSpec{mutexes: mutexes, embedded: embedded}
+	if ok, _ := heldCovers(held, base, spec); ok {
+		return
+	}
+	lc.pass.Reportf(call.Pos(), "call to %s.%s without holding %s.%s: the Locked suffix requires the caller to hold the receiver's mutex", base, sel.Sel.Name, base, sortedKeys(mutexes)[0])
+}
+
+// directBlockingCall classifies call expressions that block by
+// themselves: close, time.Sleep, WaitGroup/Cond waits, HTTP writes.
+func directBlockingCall(pkg *Package, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if _, ok := pkg.Info.Uses[fun].(*types.Builtin); ok && fun.Name == "close" {
+			return "channel close (wakes every waiter inside the critical section)"
+		}
+	case *ast.SelectorExpr:
+		if fun.Sel.Name == "Sleep" || fun.Sel.Name == "Wait" {
+			if fn, _ := pkg.Info.Uses[fun.Sel].(*types.Func); fn != nil && fn.Pkg() != nil {
+				if fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+					return "time.Sleep"
+				}
+				if fn.Pkg().Path() == "sync" && fn.Name() == "Wait" {
+					return "sync." + waitRecvName(fn) + ".Wait"
+				}
+			}
+		}
+		if pkgImportsHTTP(pkg) && isHTTPWriter(pkg, fun.X) {
+			return "write to the http.ResponseWriter"
+		}
+	}
+	if pkgImportsHTTP(pkg) {
+		for _, arg := range call.Args {
+			if isHTTPWriter(pkg, arg) {
+				return "write to the http.ResponseWriter"
+			}
+		}
+	}
+	return ""
+}
+
+// httpImporters caches, per package, whether net/http is a direct
+// import — the only way an expression in the package can be typed as
+// http.ResponseWriter/Flusher. Saves a TypeOf probe per call argument
+// module-wide.
+var httpImporters sync.Map // *Package → bool
+
+func pkgImportsHTTP(pkg *Package) bool {
+	if v, ok := httpImporters.Load(pkg); ok {
+		return v.(bool)
+	}
+	imports := false
+	if pkg.Types != nil {
+		for _, imp := range pkg.Types.Imports() {
+			if imp.Path() == "net/http" {
+				imports = true
+				break
+			}
+		}
+	}
+	httpImporters.Store(pkg, imports)
+	return imports
+}
+
+func waitRecvName(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return "WaitGroup"
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return "WaitGroup"
+}
+
+func isHTTPWriter(pkg *Package, e ast.Expr) bool {
+	// Named-type check without types.Type.String(), which allocates and
+	// is called for every argument of every call in the module.
+	named, ok := pkg.Info.TypeOf(e).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "net/http" {
+		return false
+	}
+	return obj.Name() == "ResponseWriter" || obj.Name() == "Flusher"
+}
+
+func (lc *lockChecker) reportBlocking(pkg *Package, pos token.Pos, desc string, held map[string]heldLock) {
+	if len(held) == 0 {
+		return
+	}
+	h := sortedHeld(held)[0]
+	hp := pkg.Fset.Position(h.pos)
+	lc.pass.Reportf(pos, "%s while holding %s (acquired at %s:%d): blocking under a lock stalls every contender — move it outside the critical section, or annotate //lint:allow lockcheck with why it cannot block", desc, h.path, shortFile(hp.Filename), hp.Line)
+}
+
+func (lc *lockChecker) addEdge(pkg *Package, from, to heldLock, pos token.Pos, via *funcNode, viaClass string) {
+	key := [2]string{from.class, to.class}
+	if _, ok := lc.edges[key]; ok {
+		return
+	}
+	lc.edges[key] = &lockEdge{from: from, to: to, pkg: pkg, pos: pos, via: via, viaClass: viaClass}
+}
+
+// ---------------------------------------------------------------------
+// Guarded-field decisions: explicit contracts, then inference.
+
+func (lc *lockChecker) reportGuards() {
+	type fieldKey struct {
+		key   guardKey
+		field string
+	}
+	groups := map[fieldKey][]fieldAccess{}
+	var order []fieldKey
+	for _, a := range lc.accesses {
+		k := fieldKey{a.key, a.field}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], a)
+	}
+	for _, k := range order {
+		spec := lc.specs[k.key]
+		accs := groups[k]
+		if m, ok := spec.explicit[k.field]; ok {
+			for _, a := range accs {
+				if a.locked || a.fresh {
+					continue
+				}
+				lc.pass.Reportf(a.pos, "access to %s without holding %s per its %s %s contract: lock it, or annotate //lint:allow lockcheck with the synchronisation story", a.disp, guardLockRender(a, m), GuardDirective, m)
+			}
+			continue
+		}
+		// Inference: at least two locked accesses and strictly more locked
+		// than unlocked establish the contract; fresh and unresolvable
+		// accesses stay out of the vote.
+		locked, unlocked := 0, 0
+		for _, a := range accs {
+			switch {
+			case a.base == "" || a.fresh:
+			case a.locked:
+				locked++
+			default:
+				unlocked++
+			}
+		}
+		if locked < 2 || locked <= unlocked {
+			continue
+		}
+		mutex := sortedKeys(spec.mutexes)[0]
+		for _, a := range accs {
+			if a.locked || a.fresh || a.base == "" {
+				continue
+			}
+			lc.pass.Reportf(a.pos, "access to %s without its mutex: %s is held for %d of the %d accesses to this field — lock it, declare the contract with %s %s on the field, or annotate //lint:allow lockcheck", a.disp, guardLockRender(a, mutex), locked, locked+unlocked, GuardDirective, mutex)
+		}
+	}
+}
+
+// guardLockRender names the lock an access should hold ("j.mu", or the
+// bare base for an embedded mutex).
+func guardLockRender(a fieldAccess, mutex string) string {
+	base := a.base
+	if base == "" {
+		base = "its receiver"
+	}
+	return base + "." + mutex
+}
+
+// ---------------------------------------------------------------------
+// Acquire-set fixpoint: which lock classes a call into fn may acquire.
+
+// acqClass is one lock class a function may acquire, with evidence.
+type acqClass struct {
+	class   string
+	display string
+	direct  *evidence // non-nil: acquired in this very body
+	via     *funcNode // else: the callee the class came from
+}
+
+// acquireSets is the solved may-acquire problem over the call graph.
+type acquireSets struct {
+	g    *callGraph
+	sets map[*funcNode]map[string]*acqClass
+}
+
+// solveAcquires unions direct mutex acquisitions with every callee's
+// set, iterating in deterministic node order to fixpoint. A
+// declaration-line //lint:allow lockcheck empties the function's set,
+// matching the summary collectors' escape hatch.
+func solveAcquires(g *callGraph, direct map[*funcNode]*lockDirect) *acquireSets {
+	s := &acquireSets{g: g, sets: make(map[*funcNode]map[string]*acqClass, len(g.nodes))}
+	for _, n := range g.nodes {
+		s.sets[n] = direct[n].acq
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.nodes {
+			have := s.sets[n]
+			for _, site := range n.calls {
+				for _, callee := range site.callees {
+					if callee == n {
+						continue
+					}
+					for class, c := range s.sets[callee] {
+						if _, ok := have[class]; ok {
+							continue
+						}
+						if have == nil {
+							have = map[string]*acqClass{}
+							s.sets[n] = have
+						}
+						have[class] = &acqClass{class: class, display: c.display, via: callee}
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// classesOf lists n's acquired classes in deterministic order.
+func (s *acquireSets) classesOf(n *funcNode) []*acqClass {
+	set := s.sets[n]
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]*acqClass, 0, len(set))
+	for _, c := range set {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].class < out[j].class })
+	return out
+}
+
+// explain renders the evidence chain for class starting at n, in the
+// style of summaries.explain.
+func (s *acquireSets) explain(n *funcNode, class string) string {
+	var hops []string
+	seen := map[*funcNode]bool{}
+	cur := n
+	for range s.g.nodes {
+		if seen[cur] {
+			break
+		}
+		seen[cur] = true
+		c := s.sets[cur][class]
+		if c == nil {
+			break
+		}
+		if c.direct != nil {
+			pos := cur.pkg.Fset.Position(c.direct.pos)
+			site := fmt.Sprintf("%s at %s:%d", c.direct.desc, shortFile(pos.Filename), pos.Line)
+			if len(hops) == 0 {
+				return site
+			}
+			return "via " + joinChain(hops) + ": " + site
+		}
+		hops = append(hops, c.via.shortName())
+		cur = c.via
+	}
+	return "via an indirect call path"
+}
+
+// ---------------------------------------------------------------------
+// Cycle detection over the acquisition-order graph.
+
+// reportCycles flags every edge that sits on a cycle, at its own
+// acquisition site, citing the conflicting chain's evidence — the two
+// halves of the inversion each carry the other's coordinates.
+func (lc *lockChecker) reportCycles() {
+	adj := map[string][]string{}
+	var keys [][2]string
+	for k := range lc.edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		adj[k[0]] = append(adj[k[0]], k[1])
+	}
+	displays := map[string]string{}
+	for _, k := range keys {
+		e := lc.edges[k]
+		if displays[e.from.class] == "" && e.from.display != "" {
+			displays[e.from.class] = e.from.display
+		}
+		if displays[e.to.class] == "" && e.to.display != "" {
+			displays[e.to.class] = e.to.display
+		}
+	}
+	for _, k := range keys {
+		e := lc.edges[k]
+		path := findPath(adj, k[1], k[0])
+		if len(path) < 2 {
+			continue
+		}
+		// path is k[1] … k[0]; the closing edge re-acquires k[0].
+		closing := lc.edges[[2]string{path[len(path)-2], path[len(path)-1]}]
+		cycle := renderCycle(displays, append([]string{k[0]}, path...))
+		cp := closing.pkg.Fset.Position(closing.pos)
+		lc.pass.Reportf(e.pos, "lock acquisition order cycle %s: %s is acquired here while %s is held%s, but the reverse order is taken at %s:%d%s — pick one module-wide order, or annotate //lint:allow lockcheck with the invariant that rules the deadlock out", cycle, e.to.display, e.from.display, e.viaSuffix(lc), shortFile(cp.Filename), cp.Line, closing.viaSuffix(lc))
+	}
+}
+
+// viaSuffix renders how an interprocedural edge reaches its
+// acquisition (" (via serve.evictLocked: j.mu.Lock at jobs.go:42)").
+func (e *lockEdge) viaSuffix(lc *lockChecker) string {
+	if e.via == nil {
+		return ""
+	}
+	return " (" + lc.acq.explain(e.via, e.viaClass) + ")"
+}
+
+// renderCycle prints a class cycle with short display names.
+func renderCycle(displays map[string]string, classes []string) string {
+	parts := make([]string, len(classes))
+	for i, c := range classes {
+		if parts[i] = displays[c]; parts[i] == "" {
+			parts[i] = c
+		}
+	}
+	return strings.Join(parts, " → ")
+}
+
+// findPath returns a node path from start to goal over adj (BFS,
+// deterministic neighbour order), or nil.
+func findPath(adj map[string][]string, start, goal string) []string {
+	if start == goal {
+		return []string{start}
+	}
+	parent := map[string]string{start: start}
+	queue := []string{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range adj[cur] {
+			if _, seen := parent[next]; seen {
+				continue
+			}
+			parent[next] = cur
+			if next == goal {
+				var path []string
+				for n := goal; ; n = parent[n] {
+					path = append([]string{n}, path...)
+					if n == start {
+						return path
+					}
+				}
+			}
+			queue = append(queue, next)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Summary facts: blocking reachability for the fixpoint bitmask.
+
+// lockDirect is the single-walk direct collector output for one
+// function: the blocking/acquire facts with first evidence (for the
+// summary fixpoint) and the acquired lock classes (for the order
+// graph). One AST pass per function serves both solvers.
+type lockDirect struct {
+	f       fact
+	ev      map[fact]*evidence
+	acq     map[string]*acqClass
+	mention bool // any syntactic mutex-op selector, defers included
+}
+
+// emptyLockDirect and mentionLockDirect are the shared results for
+// functions with nothing to report; the solvers never mutate a
+// lockDirect.
+var (
+	emptyLockDirect   = &lockDirect{}
+	mentionLockDirect = &lockDirect{mention: true}
+)
+
+// lockDirectWalker computes each function's direct facts and
+// acquisitions in one walk. A site-level //lint:allow lockcheck keeps
+// an allowed blocking site (the sanctioned close-under-mutex
+// broadcasts) out of its function's summary so callers are not tainted;
+// a declaration-line directive exempts the whole function. Comm
+// statements of a select are credited to the select itself (the
+// blocking site) rather than double-counted — the pre-order walk sees
+// the SelectStmt before its clauses, so the comm-op set fills in
+// lazily. One walker instance serves the whole module: the scratch
+// result only moves to the heap for functions that have facts.
+type lockDirectWalker struct {
+	n       *funcNode
+	d       lockDirect
+	commOps map[ast.Node]bool
+	probe   mutexMentionWalker
+}
+
+func (w *lockDirectWalker) collect(n *funcNode) *lockDirect {
+	if n.pkg.exemptFunc("lockcheck", n.decl) {
+		// Facts stay out of the summary, but the syntactic mutex
+		// mention must survive — the flow builder relies on it.
+		if mentionsMutexOp(&w.probe, n.decl.Body) {
+			return mentionLockDirect
+		}
+		return emptyLockDirect
+	}
+	w.n, w.d, w.commOps = n, lockDirect{}, nil
+	ast.Walk(w, n.decl.Body)
+	if w.d.f == 0 && w.d.acq == nil {
+		if w.d.mention {
+			return mentionLockDirect
+		}
+		return emptyLockDirect
+	}
+	d := w.d
+	return &d
+}
+
+func (w *lockDirectWalker) record(ff fact, pos token.Pos, desc string) {
+	if w.n.pkg.exemptAt("lockcheck", pos) {
+		return
+	}
+	if w.d.f&ff == 0 {
+		if w.d.ev == nil {
+			w.d.ev = map[fact]*evidence{}
+		}
+		w.d.ev[ff] = &evidence{pos: pos, desc: desc}
+	}
+	w.d.f |= ff
+}
+
+func (w *lockDirectWalker) Visit(node ast.Node) ast.Visitor {
+	switch node := node.(type) {
+	case *ast.DeferStmt:
+		// Deferred ops are not facts (they run at exit), but a deferred
+		// Unlock is still a mutex mention for the flow builder.
+		if !w.d.mention && mentionsMutexOp(&w.probe, node.Call) {
+			w.d.mention = true
+		}
+		return nil
+	case *ast.SelectorExpr:
+		switch node.Sel.Name {
+		case "Lock", "RLock", "TryLock", "TryRLock", "Unlock", "RUnlock":
+			w.d.mention = true
+		}
+	case *ast.SendStmt:
+		if !w.commOps[node] {
+			w.record(factBlock, node.Pos(), "channel send")
+		}
+	case *ast.UnaryExpr:
+		if node.Op == token.ARROW && !w.commOps[node] {
+			desc := "channel receive"
+			if recvIsCtxDone(w.n.pkg, node) {
+				desc = "ctx.Done() wait"
+			}
+			w.record(factBlock, node.Pos(), desc)
+		}
+	case *ast.SelectStmt:
+		if w.commOps == nil {
+			w.commOps = map[ast.Node]bool{}
+		}
+		markCommOps(node, w.commOps)
+		w.record(factBlock, node.Pos(), "select")
+	case *ast.CallExpr:
+		n := w.n
+		if desc := directBlockingCall(n.pkg, node); desc != "" {
+			w.record(factBlock, node.Pos(), desc)
+			return w
+		}
+		x, method := mutexOp(n.pkg, node)
+		if x == nil || method == "Unlock" || method == "RUnlock" {
+			return w
+		}
+		w.record(factMuAcquire, node.Pos(), exprPath(x)+"."+method)
+		if n.pkg.exemptAt("lockcheck", node.Pos()) {
+			return w
+		}
+		class, display := lockClass(n.pkg, x, declName(n.decl))
+		if class == "" {
+			return w
+		}
+		if _, ok := w.d.acq[class]; !ok {
+			if w.d.acq == nil {
+				w.d.acq = map[string]*acqClass{}
+			}
+			w.d.acq[class] = &acqClass{class: class, display: display, direct: &evidence{pos: node.Pos(), desc: exprPath(x) + "." + method}}
+		}
+	}
+	return w
+}
+
+// markCommOps records the send/receive operations that are sel's comm
+// statements, so they are not double-counted below the select.
+func markCommOps(sel *ast.SelectStmt, ops map[ast.Node]bool) {
+	for _, cl := range sel.Body.List {
+		comm := cl.(*ast.CommClause).Comm
+		if comm == nil {
+			continue
+		}
+		ast.Inspect(comm, func(c ast.Node) bool {
+			switch c := c.(type) {
+			case *ast.SendStmt:
+				ops[c] = true
+			case *ast.UnaryExpr:
+				if c.Op == token.ARROW {
+					ops[c] = true
+				}
+			}
+			return true
+		})
+	}
+}

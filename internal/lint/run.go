@@ -28,6 +28,7 @@ func All() []*Analyzer {
 		WireDrift(),
 		Hotpath(),
 		GoLeak(),
+		Lockcheck(),
 	}
 }
 

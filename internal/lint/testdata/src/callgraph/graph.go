@@ -1,0 +1,35 @@
+// Package callgraph is the fixture for call-graph resolution tests:
+// CHA interface dispatch and method-value go targets, with a clock read
+// two hops below the dispatch point so summary propagation is exercised
+// through a static call as well.
+package callgraph
+
+import "time"
+
+type ticker interface {
+	tick()
+}
+
+type clockTicker struct{}
+
+// readClock is the direct clock site, one static hop below the method.
+func readClock() { _ = time.Now() }
+
+func (clockTicker) tick() { readClock() }
+
+type quietTicker struct{}
+
+func (quietTicker) tick() {}
+
+// throughInterface dispatches through the interface: CHA must resolve
+// the call to every module method named tick, and the clock fact must
+// propagate from clockTicker.tick through the dispatch.
+func throughInterface(t ticker) { t.tick() }
+
+// throughMethodValue launches a bound method value: the go target
+// resolves through reaching definitions to clockTicker.tick, whose
+// solved summary carries the clock fact.
+func throughMethodValue(c clockTicker) {
+	f := c.tick
+	go f()
+}

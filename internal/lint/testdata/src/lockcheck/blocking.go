@@ -1,0 +1,121 @@
+package lockcheck
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// buf seeds every blocking-under-lock class, the sanctioned
+// close-with-allow form, and the interprocedural (summary) case.
+type buf struct {
+	mu      sync.Mutex
+	waiters []chan struct{} //lint:guard mu
+}
+
+// broadcast closes waiter channels under the lock: flagged.
+func (b *buf) broadcast() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, ch := range b.waiters {
+		close(ch)
+	}
+}
+
+// broadcastAllowed is the sanctioned idiom — close never blocks and
+// must be atomic with the state change: silent, and the allow also
+// keeps factBlock out of the summary so callers stay clean.
+func (b *buf) broadcastAllowed() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, ch := range b.waiters {
+		close(ch) //lint:allow lockcheck close never blocks; waiters must wake atomically with the state change
+	}
+}
+
+// callsAllowed calls the allowed broadcaster under its own lock-free
+// path: silent (no factBlock taint through the allow).
+func (b *buf) callsAllowed() {
+	b.broadcastAllowed()
+}
+
+// sendUnder sends on a channel while holding the lock: flagged.
+func (b *buf) sendUnder(ch chan int) {
+	b.mu.Lock()
+	ch <- 1
+	b.mu.Unlock()
+}
+
+// recvUnder receives while holding the lock: flagged.
+func (b *buf) recvUnder(ch chan int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return <-ch
+}
+
+// ctxUnder waits on ctx.Done() while holding the lock: flagged.
+func (b *buf) ctxUnder(ctx context.Context) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	<-ctx.Done()
+}
+
+// selectUnder blocks in a select while holding the lock: flagged once,
+// at the select.
+func (b *buf) selectUnder(ctx context.Context, ch chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case <-ctx.Done():
+	case <-ch:
+	}
+}
+
+// sleepUnder sleeps while holding the lock: flagged.
+func (b *buf) sleepUnder() {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond)
+	b.mu.Unlock()
+}
+
+// writeUnder writes to the HTTP response while holding the lock:
+// flagged.
+func (b *buf) writeUnder(w http.ResponseWriter) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	w.Write([]byte("x"))
+}
+
+// viaHelper blocks only through a callee: flagged at the call site
+// with the evidence chain.
+func (b *buf) viaHelper(ch chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	send(ch)
+}
+
+func send(ch chan int) {
+	ch <- 1
+}
+
+// outside releases the lock before blocking: silent.
+func (b *buf) outside(ch chan int) {
+	b.mu.Lock()
+	b.waiters = nil
+	b.mu.Unlock()
+	ch <- 1
+}
+
+// relock proves the must-analysis tracks release/reacquire pairs: the
+// send sits between critical sections, silent; the second section's
+// field write is locked, silent.
+func (b *buf) relock(ch chan int) {
+	b.mu.Lock()
+	b.waiters = append(b.waiters, make(chan struct{}))
+	b.mu.Unlock()
+	ch <- 1
+	b.mu.Lock()
+	b.waiters = nil
+	b.mu.Unlock()
+}

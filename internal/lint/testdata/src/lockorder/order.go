@@ -1,0 +1,87 @@
+// Package lockorder seeds lock-acquisition-order violations: a direct
+// two-lock inversion (both edges reported, each citing the other's
+// chain), an interprocedural inversion laundered through helpers, a
+// same-path re-lock self-deadlock, and a consistently ordered pair
+// that stays silent.
+package lockorder
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+// lockAB and lockBA take muA/muB in opposite orders: both acquisition
+// sites are flagged, each message carrying the reverse chain.
+func lockAB() {
+	muA.Lock()
+	defer muA.Unlock()
+	muB.Lock()
+	defer muB.Unlock()
+}
+
+func lockBA() {
+	muB.Lock()
+	defer muB.Unlock()
+	muA.Lock()
+	defer muA.Unlock()
+}
+
+var (
+	muC sync.Mutex
+	muD sync.Mutex
+)
+
+// The C/D inversion only exists interprocedurally: each side acquires
+// its second lock inside a helper, so the edges come from the
+// acquire-set fixpoint and the evidence is a call chain.
+func lockCThenD() {
+	muC.Lock()
+	defer muC.Unlock()
+	lockD()
+}
+
+func lockD() {
+	muD.Lock()
+	defer muD.Unlock()
+}
+
+func lockDThenC() {
+	muD.Lock()
+	defer muD.Unlock()
+	lockC()
+}
+
+func lockC() {
+	muC.Lock()
+	defer muC.Unlock()
+}
+
+// double re-locks the mutex it already holds: self-deadlock.
+func double() {
+	muA.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muA.Unlock()
+}
+
+var (
+	muE sync.Mutex
+	muF sync.Mutex
+)
+
+// ordered and orderedAgain always take E before F: silent.
+func ordered() {
+	muE.Lock()
+	defer muE.Unlock()
+	muF.Lock()
+	defer muF.Unlock()
+}
+
+func orderedAgain() {
+	muE.Lock()
+	muF.Lock()
+	muF.Unlock()
+	muE.Unlock()
+}

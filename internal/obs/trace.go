@@ -34,10 +34,10 @@ import (
 // Trace is a no-op.
 type Trace struct {
 	mu    sync.Mutex
-	id    string
-	root  *TraceSpan
-	epoch time.Time
-	spans int
+	id    string     // immutable after NewTrace
+	root  *TraceSpan // immutable after NewTrace (span fields are guarded by mu)
+	epoch time.Time  // immutable after NewTrace
+	spans int        //lint:guard mu
 }
 
 // NewTrace starts a trace whose root span carries name. identity is the
@@ -226,11 +226,11 @@ func (t *Trace) Export() *TraceExport {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return &TraceExport{TraceID: t.id, Spans: t.spans, Root: t.exportSpan(t.root)}
+	return &TraceExport{TraceID: t.id, Spans: t.spans, Root: t.exportSpanLocked(t.root)}
 }
 
-// exportSpan renders one span subtree; caller holds the trace lock.
-func (t *Trace) exportSpan(s *TraceSpan) *SpanExport {
+// exportSpanLocked renders one span subtree; caller holds the trace lock.
+func (t *Trace) exportSpanLocked(s *TraceSpan) *SpanExport {
 	if s == nil {
 		return nil
 	}
@@ -248,7 +248,7 @@ func (t *Trace) exportSpan(s *TraceSpan) *SpanExport {
 		out.Attrs = append([]TraceAttr(nil), s.attrs...)
 	}
 	for _, c := range s.children {
-		out.Children = append(out.Children, t.exportSpan(c))
+		out.Children = append(out.Children, t.exportSpanLocked(c))
 	}
 	return out
 }

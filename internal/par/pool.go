@@ -36,8 +36,8 @@ type Group struct {
 	sem  chan struct{}
 	wg   sync.WaitGroup
 	mu   sync.Mutex
-	err  error
-	fail bool
+	err  error //lint:guard mu
+	fail bool  //lint:guard mu
 
 	busy  *obs.Gauge
 	tasks *obs.Counter

@@ -13,9 +13,9 @@ import (
 // the key.
 type lruCache struct {
 	mu    sync.Mutex
-	cap   int
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
+	cap   int                      // immutable after construction
+	ll    *list.List               //lint:guard mu — front = most recently used
+	items map[string]*list.Element //lint:guard mu
 }
 
 type cacheEntry struct {

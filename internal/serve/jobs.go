@@ -80,13 +80,13 @@ type job struct {
 	cancel context.CancelFunc
 
 	mu      sync.Mutex
-	state   jobState
-	errMsg  string
-	cached  bool
-	result  []byte // marshalled because.Result document (state == done)
-	events  []jobEvent
-	dropped int
-	waiters []chan struct{}
+	state   jobState        //lint:guard mu
+	errMsg  string          //lint:guard mu
+	cached  bool            //lint:guard mu
+	result  []byte          //lint:guard mu — marshalled because.Result document (state == done)
+	events  []jobEvent      //lint:guard mu
+	dropped int             //lint:guard mu
+	waiters []chan struct{} //lint:guard mu
 }
 
 // appendProgress is the Options.OnProgress hook: buffer the event with
@@ -132,7 +132,10 @@ func (j *job) finish(state jobState, result []byte, cached bool, errMsg string) 
 // broadcastLocked wakes every blocked streamer; caller holds j.mu.
 func (j *job) broadcastLocked() {
 	for _, ch := range j.waiters {
-		close(ch)
+		// The sanctioned broadcast-under-mutex idiom: close never blocks,
+		// and waiters must observe the event append atomically with their
+		// wake-up or the gapless-replay invariant breaks.
+		close(ch) //lint:allow lockcheck close never blocks; wake must be atomic with the buffered append
 	}
 	j.waiters = nil
 }
@@ -192,8 +195,8 @@ type jobRegistry struct {
 	next atomic.Uint64
 
 	mu    sync.Mutex
-	jobs  map[string]*job
-	order []string // insertion order, for eviction
+	jobs  map[string]*job //lint:guard mu
+	order []string        //lint:guard mu — insertion order, for eviction
 }
 
 func newJobRegistry() *jobRegistry {

@@ -1,0 +1,161 @@
+package serve
+
+// Concurrent-watcher stress test for the job event stream: many SSE
+// watchers attach at staggered cursors and detach mid-stream while the
+// job is still emitting, and every watcher must observe a gapless,
+// in-order seq run starting exactly at its cursor. This is the test that
+// pins the replay-then-live handoff in eventsSince/streamEvents under
+// scheduler churn; run it with -race (the Makefile's test target does).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"because"
+)
+
+func TestConcurrentWatchersGaplessReplay(t *testing.T) {
+	const (
+		totalEvents = 400
+		numWatchers = 12
+		firstBatch  = 10
+	)
+
+	batched := make(chan struct{}) // closed by infer once firstBatch events are buffered
+	flood := make(chan struct{})   // closed by the test to release the remaining events
+	infer := func(ctx context.Context, _ []because.PathObservation, opts because.Options) (*because.Result, error) {
+		emit := func(i int) {
+			opts.OnProgress(because.ProgressEvent{
+				Stage: "mh", Done: i + 1, Total: totalEvents,
+				Accepted: i, Proposed: i + 1,
+			})
+		}
+		for i := 0; i < firstBatch; i++ {
+			emit(i)
+		}
+		close(batched)
+		select {
+		case <-flood:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		for i := firstBatch; i < totalEvents; i++ {
+			emit(i)
+			if i%37 == 0 {
+				runtime.Gosched() // interleave with watcher reads
+			}
+		}
+		return fakeResult(), nil
+	}
+
+	srv := New(Config{Infer: infer})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/infer?async=1", "application/json", strings.NewReader(smallBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc JobAccepted
+	if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	<-batched // the job now has buffered events and is still live
+
+	errs := make(chan error, numWatchers)
+	var wg sync.WaitGroup
+	for w := 0; w < numWatchers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Staggered attach positions: some replay from 0, some from
+			// mid-buffer, some from a cursor that does not exist yet.
+			cursor := (w * 3) % (firstBatch + 5)
+			es, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/events?cursor=%d", ts.URL, acc.JobID, cursor))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer es.Body.Close()
+
+			// Every third watcher detaches mid-stream; the rest read to the
+			// terminal frame.
+			detachAt := -1
+			if w%3 == 0 {
+				detachAt = cursor + 25 + w
+			}
+
+			frames := readSSEFrames(es.Body)
+			next := cursor
+			sawDone := false
+			for f := range frames {
+				switch f.event {
+				case "progress":
+					var ev jobEvent
+					if err := json.Unmarshal([]byte(f.data), &ev); err != nil {
+						errs <- fmt.Errorf("watcher %d: %v", w, err)
+						return
+					}
+					if ev.Seq != next {
+						errs <- fmt.Errorf("watcher %d: got seq %d, want %d (gap or reorder)", w, ev.Seq, next)
+						return
+					}
+					next++
+					if detachAt >= 0 && next >= detachAt {
+						// Detach mid-stream. Close the body and drain so the
+						// frame-reader goroutine exits before we return.
+						es.Body.Close()
+						for range frames {
+						}
+						return
+					}
+				case "done":
+					var st JobStatus
+					if err := json.Unmarshal([]byte(f.data), &st); err != nil {
+						errs <- fmt.Errorf("watcher %d: %v", w, err)
+						return
+					}
+					if st.Events != totalEvents || st.DroppedEvents != 0 {
+						errs <- fmt.Errorf("watcher %d: done frame events=%d dropped=%d, want %d/0",
+							w, st.Events, st.DroppedEvents, totalEvents)
+						return
+					}
+					sawDone = true
+				}
+			}
+			if !sawDone {
+				errs <- fmt.Errorf("watcher %d: stream ended without a done frame", w)
+				return
+			}
+			if next != totalEvents {
+				errs <- fmt.Errorf("watcher %d: saw events up to %d, want %d", w, next, totalEvents)
+			}
+		}()
+	}
+
+	close(flood)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The job record itself must agree: every event buffered, none dropped.
+	st, code := getJobStatus(t, srv.Handler(), acc.JobID)
+	if code != http.StatusOK {
+		t.Fatalf("status code = %d", code)
+	}
+	if st.State != string(jobDone) || st.Events != totalEvents || st.DroppedEvents != 0 {
+		t.Errorf("final status = state=%s events=%d dropped=%d, want done/%d/0",
+			st.State, st.Events, st.DroppedEvents, totalEvents)
+	}
+}

@@ -10,7 +10,7 @@
 # allocs/op, plus the commit the numbers were taken at — so successive
 # PRs leave comparable perf data points in the repo.
 #
-# Output goes to BENCH_PR9.json (override with BENCH_OUT). BENCHTIME
+# Output goes to BENCH_PR10.json (override with BENCH_OUT). BENCHTIME
 # tunes -benchtime; the default 1x runs one timed iteration per
 # benchmark — enough for the coarse trajectory and quick in CI. Use e.g.
 # BENCHTIME=2s for stabler numbers. Needs only sh + the Go toolchain.
@@ -18,7 +18,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT=${BENCH_OUT:-BENCH_PR9.json}
+OUT=${BENCH_OUT:-BENCH_PR10.json}
 BENCHTIME=${BENCHTIME:-1x}
 
 RAW=$(mktemp)
